@@ -1,0 +1,46 @@
+"""Shared reporting for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation (see DESIGN.md section 4).  :func:`report` renders the
+series the paper reports both to stdout (visible with ``pytest -s`` and
+in the captured output) and to ``benchmarks/out/<experiment>.txt`` so a
+full run always leaves artifacts behind.
+"""
+
+import os
+
+_OUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
+
+
+def format_table(title, header, rows, notes=()):
+    """Render an aligned text table."""
+    columns = len(header)
+    widths = [len(str(h)) for h in header]
+    rendered_rows = []
+    for row in rows:
+        rendered = [
+            "%.4g" % cell if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        rendered += [""] * (columns - len(rendered))
+        widths = [max(w, len(cell)) for w, cell in zip(widths, rendered)]
+        rendered_rows.append(rendered)
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for rendered in rendered_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(rendered, widths)))
+    for note in notes:
+        lines.append("# " + note)
+    return "\n".join(lines)
+
+
+def report(experiment_id, title, header, rows, notes=()):
+    """Print the experiment table and persist it under benchmarks/out/."""
+    table = format_table(title, header, rows, notes)
+    print("\n" + table + "\n")
+    os.makedirs(_OUT_DIR, exist_ok=True)
+    path = os.path.join(_OUT_DIR, "%s.txt" % experiment_id)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(table + "\n")
+    return table

@@ -1,0 +1,97 @@
+"""A1 (ablation) -- SCBR's containment index vs. naive matching.
+
+Section V-B: "Performance is enhanced by storing subscriptions in data
+structures that exploit containment relations between filters.
+Therefore, a reduced number of comparisons is required whenever a
+message must be matched against them."
+
+Same subscriptions, same publications, two matchers; reports visited
+subscriptions per match and virtual matching time, inside the enclave.
+"""
+
+import pytest
+
+from repro.scbr.index import ContainmentIndex
+from repro.scbr.naive import LinearIndex
+from repro.scbr.workload import ScbrWorkload
+from repro.sgx.costs import DEFAULT_COSTS
+from repro.sgx.memory import EpcModel, SimulatedMemory
+from repro.sim.clock import CycleClock
+
+from benchmarks._harness import report
+
+SUBSCRIPTIONS = 3000
+PUBLICATIONS = 40
+CONTAINMENT = 0.6
+
+
+def _enclave_memory(name):
+    costs = DEFAULT_COSTS
+    clock = CycleClock()
+    return SimulatedMemory(clock, costs, enclave=True, epc=EpcModel(costs),
+                           name=name), clock
+
+
+def run_a1():
+    workload = ScbrWorkload(seed=11, num_attributes=12,
+                            containment_fraction=CONTAINMENT)
+    subscriptions = workload.subscriptions(SUBSCRIPTIONS)
+    publications = workload.publications(PUBLICATIONS)
+
+    rows = []
+    results = {}
+    for label, factory in (
+        ("naive linear scan", LinearIndex),
+        ("containment index", ContainmentIndex),
+    ):
+        memory, clock = _enclave_memory(label)
+        index = factory(memory=memory)
+        for subscription in subscriptions:
+            index.insert(subscription)
+        matches = 0
+        visits = 0
+        start = clock.now
+        matched_sets = []
+        for publication in publications:
+            matched = index.match(publication)
+            matched_sets.append(matched)
+            matches += len(matched)
+            visits += index.visits_last_match
+        cycles = clock.now - start
+        results[label] = matched_sets
+        rows.append(
+            (
+                label,
+                visits / PUBLICATIONS,
+                matches / PUBLICATIONS,
+                cycles / PUBLICATIONS / 2.6e6,  # virtual ms per match
+            )
+        )
+    assert results["naive linear scan"] == results["containment index"]
+    return rows
+
+
+@pytest.fixture(scope="module")
+def a1_rows():
+    return run_a1()
+
+
+def bench_a1_index_vs_naive(a1_rows, benchmark):
+    rows = a1_rows
+    report(
+        "a1_index_vs_naive",
+        "A1: matcher comparison inside the enclave (%d subscriptions)"
+        % SUBSCRIPTIONS,
+        ("matcher", "visits/match", "matches/match", "virtual_ms/match"),
+        rows,
+        notes=(
+            "identical results; the containment index prunes covered",
+            "subtrees, reducing comparisons and enclave memory traffic",
+        ),
+    )
+    naive_visits, index_visits = rows[0][1], rows[1][1]
+    naive_ms, index_ms = rows[0][3], rows[1][3]
+    assert index_visits < 0.7 * naive_visits, "comparisons reduced"
+    assert index_ms < naive_ms, "matching time reduced"
+
+    benchmark.pedantic(run_a1, rounds=1, iterations=1)

@@ -1,0 +1,112 @@
+"""A2 (ablation) -- SCONE's asynchronous system-call interface.
+
+Section IV: SCONE "provides acceptable performance by implementing
+tailored threading and an asynchronous system call interface."
+
+The same I/O-heavy thread mix (open/read/compute loops) runs three
+ways: synchronous syscalls (two enclave transitions each), asynchronous
+submit-and-wait from a single thread, and asynchronous syscalls under
+the M:N user-level scheduler.  Virtual time shows the paper's ordering.
+"""
+
+import pytest
+
+from repro.scone.syscalls import (
+    AsyncSyscallExecutor,
+    SimulatedKernel,
+    SyncSyscallExecutor,
+    SyscallRequest,
+)
+from repro.scone.threads import UserThreadScheduler
+from repro.sgx.costs import DEFAULT_COSTS
+from repro.sim.clock import CycleClock
+
+from benchmarks._harness import report
+
+THREADS = 16
+CALLS_PER_THREAD = 50
+COMPUTE_CYCLES = 3_000
+
+
+def _run_sync():
+    clock = CycleClock()
+    executor = SyncSyscallExecutor(clock, SimulatedKernel(), DEFAULT_COSTS)
+    for thread in range(THREADS):
+        fd = executor.call("open", "/data/%d" % thread)
+        for _ in range(CALLS_PER_THREAD):
+            executor.call("write", fd, b"x" * 64)
+            clock.charge(COMPUTE_CYCLES)
+    return clock.now
+
+
+def _run_async_single():
+    """Async queue but a single, naturally-written blocking thread:
+    every call submits and waits before computing."""
+    clock = CycleClock()
+    executor = AsyncSyscallExecutor(clock, SimulatedKernel(), DEFAULT_COSTS,
+                                    workers=4)
+    for thread in range(THREADS):
+        fd = executor.call("open", "/data/%d" % thread)
+        for _ in range(CALLS_PER_THREAD):
+            executor.call("write", fd, b"x" * 64)
+            clock.charge(COMPUTE_CYCLES)
+    return clock.now
+
+
+def _run_async_threaded():
+    clock = CycleClock()
+    executor = AsyncSyscallExecutor(clock, SimulatedKernel(), DEFAULT_COSTS,
+                                    workers=4)
+    scheduler = UserThreadScheduler(clock, executor)
+
+    def worker(thread):
+        fd = yield SyscallRequest("open", ("/data/%d" % thread,))
+        for _ in range(CALLS_PER_THREAD):
+            yield SyscallRequest("write", (fd, b"x" * 64))
+            yield ("compute", COMPUTE_CYCLES)
+
+    for thread in range(THREADS):
+        scheduler.spawn(worker(thread))
+    scheduler.run()
+    return clock.now
+
+
+def run_a2():
+    total_calls = THREADS * (CALLS_PER_THREAD + 1)
+    rows = []
+    for label, runner in (
+        ("sync (exit per call)", _run_sync),
+        ("async, single thread", _run_async_single),
+        ("async + user threads (SCONE)", _run_async_threaded),
+    ):
+        cycles = runner()
+        rows.append((label, cycles / 1e6, cycles / total_calls))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def a2_rows():
+    return run_a2()
+
+
+def bench_a2_async_syscalls(a2_rows, benchmark):
+    rows = a2_rows
+    report(
+        "a2_async_syscalls",
+        "A2: %d threads x %d syscalls, virtual cost" % (THREADS,
+                                                        CALLS_PER_THREAD),
+        ("mode", "total_Mcycles", "cycles/call"),
+        rows,
+        notes=(
+            "sync pays 2 enclave transitions per call; the shared queue",
+            "plus M:N threading overlaps kernel time with enclave compute",
+        ),
+    )
+    sync_total = rows[0][1]
+    async_total = rows[1][1]
+    threaded_total = rows[2][1]
+    assert async_total < sync_total, "async avoids transitions"
+    assert threaded_total < 0.75 * async_total, "threading overlaps waiting"
+    assert threaded_total < sync_total / 4, "SCONE's combined win"
+
+    benchmark.pedantic(_run_async_threaded, rounds=3, iterations=1)

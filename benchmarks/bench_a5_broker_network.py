@@ -1,0 +1,117 @@
+"""A5 (ablation) -- covering-based forwarding in the broker network.
+
+SCBR's containment relations pay twice: within one broker (A1) and
+*across* brokers, where a subscription covered by one already forwarded
+over a link need not be propagated.  A chain of brokers receives a
+containment-heavy subscription workload with and without the covering
+optimisation; the table reports routing-state and traffic reduction --
+with identical delivery results.
+"""
+
+import pytest
+
+from repro.scbr.network import ScbrNetwork
+from repro.scbr.workload import ScbrWorkload
+
+from benchmarks._harness import report
+
+BROKERS = ("edge-0", "edge-1", "core", "edge-2")
+SUBSCRIPTIONS = 600
+PUBLICATIONS = 60
+
+
+def _build_network(covering_enabled):
+    network = ScbrNetwork()
+    for name in BROKERS:
+        network.add_broker(name)
+    network.connect("edge-0", "core")
+    network.connect("edge-1", "core")
+    network.connect("edge-2", "core")
+    if not covering_enabled:
+        # Disable the optimisation: pretend nothing covers anything.
+        for broker in network.brokers.values():
+            broker_admit = broker._admit
+
+            def admit(subscription, origin, _broker=broker):
+                _broker.index.insert(subscription)
+                _broker._origin[subscription.subscription_id] = origin
+                for neighbour in list(_broker.links):
+                    if neighbour == origin:
+                        continue
+                    link = _broker.links[neighbour]
+                    _broker._forwarded.setdefault(neighbour, []).append(
+                        subscription
+                    )
+                    envelope = link.seal_subscription(subscription)
+                    link.destination.receive_subscription(
+                        envelope, from_broker=_broker.name
+                    )
+
+            broker._admit = admit
+            assert broker_admit is not None
+    return network
+
+
+def run_a5():
+    rows = []
+    deliveries = {}
+    for covering in (False, True):
+        workload = ScbrWorkload(seed=21, num_attributes=10,
+                                containment_fraction=0.7)
+        network = _build_network(covering)
+        edges = ("edge-0", "edge-1", "edge-2")
+        for position, subscription in enumerate(
+            workload.subscriptions(SUBSCRIPTIONS)
+        ):
+            network.subscribe(edges[position % 3], subscription,
+                              client="client-%d" % position)
+        delivered = []
+        for position, publication in enumerate(
+            workload.publications(PUBLICATIONS)
+        ):
+            origin = edges[position % 3]
+            result = network.brokers[origin].publish_local(publication)
+            delivered.append(sorted(s for _c, s in result))
+        deliveries[covering] = delivered
+        stats = network.forwarding_stats()
+        routing_state = sum(
+            len(broker.index) for broker in network.brokers.values()
+        )
+        rows.append(
+            (
+                "covering on" if covering else "covering off",
+                stats["subscriptions_forwarded"],
+                stats["subscriptions_suppressed"],
+                routing_state,
+                stats["publications_forwarded"],
+            )
+        )
+    assert deliveries[False] == deliveries[True], "optimisation is lossless"
+    return rows
+
+
+@pytest.fixture(scope="module")
+def a5_rows():
+    return run_a5()
+
+
+def bench_a5_broker_network(a5_rows, benchmark):
+    rows = a5_rows
+    report(
+        "a5_broker_network",
+        "A5: 4-broker overlay, %d subscriptions, %d publications"
+        % (SUBSCRIPTIONS, PUBLICATIONS),
+        ("mode", "subs_forwarded", "subs_suppressed", "routing_entries",
+         "pubs_forwarded"),
+        rows,
+        notes=(
+            "covering suppression shrinks inter-broker subscription",
+            "traffic and per-broker routing state; deliveries identical",
+        ),
+    )
+    off, on = rows[0], rows[1]
+    assert on[1] < 0.7 * off[1], "forwarded subscriptions reduced"
+    assert on[3] < off[3], "routing state reduced"
+    assert on[2] > 0, "suppression actually happened"
+
+    benchmark.pedantic(run_a5, rounds=1, iterations=1)

@@ -1,0 +1,113 @@
+"""Use case 2 (paper Section VI): fault detection with millisecond
+orchestration.
+
+Two experiments in one script:
+
+1. **Grid-side**: a transformer fault blacks out a subtree of meters;
+   the fault detector localises it within one telemetry interval.
+2. **Cloud-side**: the micro-service application processing the
+   telemetry is itself degraded (CPU starvation of one service); the
+   orchestrator detects the QoS anomaly within milliseconds of virtual
+   time and restores the service.
+
+Run:  python examples/grid_fault_detection.py
+"""
+
+import json
+
+from repro.core.application import ApplicationSpec, ServiceSpec
+from repro.core.deployment import SecureCloudPlatform
+from repro.microservices.orchestrator import Orchestrator, OrchestratorPolicy
+from repro.smartgrid.faults import FaultDetector
+from repro.smartgrid.meters import SmartMeterFleet
+from repro.smartgrid.topology import GridTopology
+
+
+def passthrough(ctx, topic, plaintext):
+    reading = json.loads(plaintext.decode())
+    if reading["v"] == 0.0:
+        return [("outages", plaintext)]
+    return []
+
+
+def notify(ctx, topic, plaintext):
+    return [("notifications", b"outage:" + plaintext)]
+
+
+def main():
+    print("== Grid fault detection + millisecond orchestration ==")
+
+    # ---- 1. grid-side fault localisation ----
+    grid = GridTopology.build(
+        feeders=2, transformers_per_feeder=2, meters_per_transformer=5
+    )
+    fleet = SmartMeterFleet(grid, seed=7, interval=30.0)
+    fleet.inject_fault("tx-1-0", start=247.0, end=1800.0)
+
+    detector = FaultDetector(grid)
+    events = detector.scan_window(fleet, 0.0, 900.0)
+    for event in events:
+        delay = event.detected_at - 247.0
+        print(
+            "fault localised at %-8s (%s level), detection delay %.0f s "
+            "of telemetry" % (event.element, event.kind, delay)
+        )
+
+    # ---- 2. cloud-side QoS anomaly ----
+    application = ApplicationSpec(
+        "outage-pipeline",
+        [
+            ServiceSpec("filter", {"telemetry": passthrough},
+                        output_topics=("outages",)),
+            ServiceSpec("notifier", {"outages": notify},
+                        output_topics=("notifications",)),
+        ],
+    )
+    platform = SecureCloudPlatform(hosts=2, seed=11)
+    deployment = platform.deploy(application)
+    notifications = deployment.collect("notifications")
+
+    env = platform.env
+    # No heartbeat stream in this demo, so disable liveness detection
+    # by setting a very lenient timeout; we focus on latency anomalies.
+    policy = OrchestratorPolicy(heartbeat_timeout=10.0)
+    orchestrator = Orchestrator(env, platform.qos, platform.service_registry,
+                                policy)
+    orchestrator.start(duration=0.5)
+
+    filter_service = deployment.services["filter"]
+
+    # Telemetry stream: one reading every 2 ms of virtual time.
+    for index in range(100):
+        def ingest(_fired, i=index):
+            meter = grid.meters[i % len(grid.meters)]
+            reading = fleet.reading(meter, 300.0 + 30.0 * i)
+            deployment.ingest("telemetry",
+                              json.dumps(reading.to_record()).encode())
+        env.timeout(index * 0.002).callbacks.append(ingest)
+
+    # At t=50 ms a noisy neighbour starves the filter service.
+    def starve(_fired):
+        filter_service.slowdown = 25.0
+        orchestrator.record_onset("filter")
+        print("anomaly injected at t=%.1f ms" % (env.now * 1e3))
+
+    env.timeout(0.050).callbacks.append(starve)
+    deployment.run()
+
+    for detection in orchestrator.detections:
+        print(
+            "orchestrator detected %s anomaly on %r after %.2f ms; reacted"
+            % (
+                detection.kind,
+                detection.service_name,
+                detection.detection_latency * 1e3,
+            )
+        )
+    print("service speed restored:", filter_service.slowdown == 1.0)
+    print("outage notifications delivered:", len(notifications))
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

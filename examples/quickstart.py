@@ -1,0 +1,72 @@
+"""Quickstart: your first secure container on SecureCloud.
+
+Builds a micro-service image in a trusted environment, publishes it
+through an *untrusted* registry, runs it on an SGX host after remote
+attestation, and demonstrates that tampering anywhere in the untrusted
+chain is detected.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.containers.client import SconeClient
+from repro.containers.engine import ContainerEngine, Host
+from repro.containers.image import FSPF_PATH
+from repro.containers.registry import Registry
+from repro.scone.cas import ConfigurationService
+from repro.sgx.attestation import AttestationService
+
+
+def greet_main(ctx, env):
+    """The application logic -- this function runs inside the enclave."""
+    secret = env.fs.read_all("/opt/greeting.txt")
+    env.stdout.write(b"[service] " + secret)
+    return secret.decode()
+
+
+def main():
+    print("== SecureCloud quickstart ==")
+
+    # --- infrastructure: registry, attestation, CAS, one SGX host ---
+    registry = Registry()
+    attestation = AttestationService()
+    cas = ConfigurationService(attestation)
+    host = Host("sgx-host-0")
+    attestation.register_platform(
+        host.platform.platform_id, host.platform.quoting_enclave.public_key
+    )
+    engine = ContainerEngine(cas=cas)
+
+    # --- trusted side: build, sign, publish ---
+    client = SconeClient(registry, cas)
+    result = client.build_and_publish(
+        "hello-secure",
+        {"main": greet_main},
+        protected_files={"/opt/greeting.txt": b"hello from inside the enclave"},
+    )
+    print("built image, enclave measurement:", result.measurement[:16], "...")
+    print("registry now holds:", registry.references())
+
+    # --- untrusted side: pull (verifying the signature) and run ---
+    image = client.pull_verified("hello-secure:latest")
+    container = engine.create(image, host)  # attests + fetches the SCF
+    print("container booted, secure:", container.is_secure)
+    print("service returned:", repr(container.run()))
+
+    # The host saw only ciphertext.
+    stored_blobs = image.flatten()
+    leaked = any(b"hello from inside" in blob for blob in stored_blobs.values())
+    print("plaintext visible in the image the registry stored:", leaked)
+
+    # --- attack: tamper with the published image ---
+    registry.tamper_layer("hello-secure:latest", 0, FSPF_PATH, b"forged")
+    try:
+        client.pull_verified("hello-secure:latest")
+    except Exception as error:
+        print("tampered image rejected:", type(error).__name__)
+
+    container.stop()
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""SecureCloud reproduction: secure big data processing in untrusted clouds.
+
+This package reproduces the system described in *SecureCloud: Secure Big
+Data Processing in Untrusted Clouds* (DSN 2018) on a pure-Python substrate.
+Because Intel SGX hardware is not available, the package ships a
+deterministic SGX simulator (:mod:`repro.sgx`) whose cost model reproduces
+the performance phenomena the paper reports (MEE cache-miss penalties and
+EPC paging), and builds the full SecureCloud stack on top of it:
+
+- :mod:`repro.sim` -- deterministic discrete-event simulation substrate.
+- :mod:`repro.crypto` -- authenticated encryption, signatures, key exchange.
+- :mod:`repro.sgx` -- enclaves, EPC memory model, attestation, sealing.
+- :mod:`repro.scone` -- secure container runtime (shielded syscalls,
+  file-system shield, stream shield, SCF, CAS).
+- :mod:`repro.containers` -- Docker-like images, registry, engine.
+- :mod:`repro.scbr` -- secure content-based routing.
+- :mod:`repro.genpack` -- generational container scheduler + energy model.
+- :mod:`repro.microservices` -- micro-service framework, event bus, QoS.
+- :mod:`repro.bigdata` -- secure KV store, map/reduce, bulk transfer.
+- :mod:`repro.smartgrid` -- smart-grid data simulation and analytics.
+- :mod:`repro.core` -- the SecureCloud platform facade.
+"""
+
+from repro.errors import (
+    AttestationError,
+    CapacityError,
+    ConfigurationError,
+    IntegrityError,
+    SecureCloudError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttestationError",
+    "CapacityError",
+    "ConfigurationError",
+    "IntegrityError",
+    "SecureCloudError",
+    "__version__",
+]

@@ -1,0 +1,106 @@
+"""A secure structured data store.
+
+Rows live as protected files on an untrusted store, one file per row,
+under ``/tables/<table>/<key>``; confidentiality, integrity, rollback
+and swap protection all come from the SCONE FS shield underneath.  The
+table keeps a *manifest row* listing its keys, so `scan` results are
+themselves authenticated -- a malicious store cannot hide rows from a
+range scan without breaking the manifest's MAC.
+"""
+
+import json
+
+from repro.errors import ConfigurationError, IntegrityError
+
+
+def _row_path(table, key):
+    return "/tables/%s/%s" % (table, key)
+
+
+def _manifest_path(table):
+    return "/tables/%s/.manifest" % table
+
+
+class SecureTable:
+    """Key-value rows with authenticated membership."""
+
+    def __init__(self, volume, name):
+        if "/" in name or name.startswith("."):
+            raise ConfigurationError("invalid table name %r" % name)
+        self.volume = volume
+        self.name = name
+        self._keys = self._load_manifest()
+
+    def _load_manifest(self):
+        path = _manifest_path(self.name)
+        if not self.volume.exists(path):
+            return set()
+        raw = self.volume.read_all(path)
+        try:
+            return set(json.loads(raw.decode("utf-8")))
+        except ValueError as exc:
+            raise IntegrityError("corrupt table manifest") from exc
+
+    def _store_manifest(self):
+        path = _manifest_path(self.name)
+        payload = json.dumps(sorted(self._keys)).encode("utf-8")
+        if self.volume.exists(path):
+            self.volume.delete(path)
+        self.volume.write(path, payload)
+
+    def __len__(self):
+        return len(self._keys)
+
+    def __contains__(self, key):
+        return key in self._keys
+
+    def put(self, key, value):
+        """Insert or overwrite a row."""
+        if "/" in key:
+            raise ConfigurationError("row keys must not contain '/'")
+        path = _row_path(self.name, key)
+        if self.volume.exists(path):
+            self.volume.delete(path)
+        self.volume.write(path, value)
+        if key not in self._keys:
+            self._keys.add(key)
+            self._store_manifest()
+
+    def get(self, key):
+        """Read a row; raises for unknown keys."""
+        if key not in self._keys:
+            raise ConfigurationError(
+                "no row %r in table %s" % (key, self.name)
+            )
+        return self.volume.read_all(_row_path(self.name, key))
+
+    def delete(self, key):
+        """Remove a row."""
+        if key not in self._keys:
+            return
+        self.volume.delete(_row_path(self.name, key))
+        self._keys.discard(key)
+        self._store_manifest()
+
+    def keys(self):
+        """All row keys, sorted."""
+        return sorted(self._keys)
+
+    def scan(self, prefix=""):
+        """Authenticated (key, value) pairs whose key starts with prefix."""
+        return [
+            (key, self.get(key))
+            for key in self.keys()
+            if key.startswith(prefix)
+        ]
+
+    def verify(self):
+        """Re-authenticate every row against the shield."""
+        for key in self._keys:
+            self.get(key)
+        return True
+
+    @classmethod
+    def open(cls, volume, name):
+        """Open an existing (or new) table on a volume."""
+        return cls(volume, name)

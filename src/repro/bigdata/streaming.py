@@ -1,0 +1,156 @@
+"""Windowed stream processing inside enclaves.
+
+Smart-meter analytics are stream jobs: continuous sub-minute readings,
+aggregated over time windows.  This module provides the two classic
+window operators, runnable as in-enclave handlers of a micro-service:
+
+- :class:`TumblingWindow` -- fixed, non-overlapping windows;
+- :class:`SlidingWindow` -- overlapping windows with a slide step.
+
+Both are *event-time* operators: records carry timestamps, and windows
+close when the watermark (event time high-water mark minus the allowed
+lateness) passes their end.  Records arriving later than the allowed
+lateness are counted but dropped, never silently mis-aggregated.
+
+:func:`window_service_handler` adapts an operator into a
+:class:`~repro.microservices.service.MicroService` handler so windowed
+aggregates can be deployed like any other secure micro-service.
+"""
+
+import json
+from collections import defaultdict
+
+from repro.errors import ConfigurationError
+
+
+class _WindowOperatorBase:
+    """Shared machinery: watermark, lateness, closing logic."""
+
+    def __init__(self, size, aggregate_fn, key_fn=None, lateness=0.0):
+        if size <= 0:
+            raise ConfigurationError("window size must be positive")
+        if lateness < 0:
+            raise ConfigurationError("lateness must be non-negative")
+        self.size = size
+        self.aggregate_fn = aggregate_fn
+        self.key_fn = key_fn or (lambda record: None)
+        self.lateness = lateness
+        self.watermark = float("-inf")
+        self.late_records = 0
+        # (window_start, key) -> [values]
+        self._panes = defaultdict(list)
+
+    def _windows_for(self, timestamp):
+        raise NotImplementedError
+
+    def ingest(self, timestamp, record):
+        """Feed one record; returns the list of windows this closes.
+
+        Each closed window is ``(window_start, window_end, key, result)``
+        with ``result = aggregate_fn(values)``.
+        """
+        if timestamp < self.watermark - self.lateness:
+            self.late_records += 1
+            return []
+        key = self.key_fn(record)
+        for window_start in self._windows_for(timestamp):
+            self._panes[(window_start, key)].append(record)
+        self.watermark = max(self.watermark, timestamp)
+        return self._close_ripe()
+
+    def _close_ripe(self):
+        closing_point = self.watermark - self.lateness
+        ripe = [
+            (window_start, key)
+            for (window_start, key) in self._panes
+            if window_start + self.size <= closing_point
+        ]
+        closed = []
+        for window_start, key in sorted(ripe):
+            values = self._panes.pop((window_start, key))
+            closed.append(
+                (
+                    window_start,
+                    window_start + self.size,
+                    key,
+                    self.aggregate_fn(values),
+                )
+            )
+        return closed
+
+    def flush(self):
+        """Close every open window (end of stream)."""
+        remaining = sorted(self._panes)
+        closed = []
+        for window_start, key in remaining:
+            values = self._panes.pop((window_start, key))
+            closed.append(
+                (
+                    window_start,
+                    window_start + self.size,
+                    key,
+                    self.aggregate_fn(values),
+                )
+            )
+        return closed
+
+    @property
+    def open_windows(self):
+        """Number of panes currently buffered."""
+        return len(self._panes)
+
+
+class TumblingWindow(_WindowOperatorBase):
+    """Non-overlapping fixed windows: [0,s), [s,2s), ..."""
+
+    def _windows_for(self, timestamp):
+        return [int(timestamp // self.size) * self.size]
+
+
+class SlidingWindow(_WindowOperatorBase):
+    """Overlapping windows of ``size`` sliding by ``slide``."""
+
+    def __init__(self, size, slide, aggregate_fn, key_fn=None, lateness=0.0):
+        super().__init__(size, aggregate_fn, key_fn=key_fn, lateness=lateness)
+        if slide <= 0 or slide > size:
+            raise ConfigurationError("need 0 < slide <= size")
+        self.slide = slide
+
+    def _windows_for(self, timestamp):
+        last_start = int(timestamp // self.slide) * self.slide
+        starts = []
+        start = last_start
+        while start > timestamp - self.size:
+            starts.append(start)
+            start -= self.slide
+        return starts
+
+
+def window_service_handler(operator, output_topic,
+                           timestamp_field="t"):
+    """Wrap a window operator as a micro-service handler.
+
+    The handler parses JSON records from sealed events, feeds the
+    operator (held in enclave state, so partial aggregates never leave
+    the enclave), and emits one sealed output event per closed window.
+    """
+
+    def handler(ctx, _topic, plaintext):
+        held = ctx.state.setdefault("window_operator", operator)
+        record = json.loads(plaintext.decode())
+        closed = held.ingest(record[timestamp_field], record)
+        outputs = []
+        for window_start, window_end, key, result in closed:
+            payload = json.dumps(
+                {
+                    "window_start": window_start,
+                    "window_end": window_end,
+                    "key": key,
+                    "result": result,
+                },
+                sort_keys=True,
+            ).encode("utf-8")
+            outputs.append((output_topic, payload))
+        return outputs
+
+    return handler

@@ -1,0 +1,124 @@
+"""Command-line experiment runner.
+
+Regenerates any of the paper's tables/figures without going through
+pytest (useful for quick iteration and for scripting sweeps):
+
+    python -m repro.cli list
+    python -m repro.cli run e1
+    python -m repro.cli run all
+
+Must be run from the repository root (the experiment definitions live
+in the top-level ``benchmarks/`` package, next to ``src/``).
+"""
+
+import argparse
+import importlib
+import sys
+
+EXPERIMENTS = {
+    "e1": ("benchmarks.bench_fig3_memory_swapping", "run_figure3_sweep",
+           "Figure 3: SCBR matching inside vs. outside the enclave"),
+    "e2": ("benchmarks.bench_e2_cache_vs_paging", "run_e2",
+           "cache misses vs. EPC paging"),
+    "e3": ("benchmarks.bench_e3_genpack_energy", "run_e3",
+           "GenPack energy savings"),
+    "e4": ("benchmarks.bench_e4_orchestration_latency", "run_e4",
+           "orchestration anomaly-detection latency"),
+    "f1": ("benchmarks.bench_f1_event_bus", "run_f1",
+           "Figure 1 architecture, executable"),
+    "f2": ("benchmarks.bench_f2_secure_containers", "run_f2",
+           "Figure 2 secure-container workflow"),
+    "a1": ("benchmarks.bench_a1_index_vs_naive", "run_a1",
+           "containment index vs. naive matcher"),
+    "a2": ("benchmarks.bench_a2_async_syscalls", "run_a2",
+           "sync vs. async syscalls"),
+    "a3": ("benchmarks.bench_a3_fs_shield", "run_a3",
+           "FS shield chunk-size trade-off"),
+    "a4": ("benchmarks.bench_a4_mapreduce", "run_a4",
+           "secure vs. plain map/reduce"),
+    "a5": ("benchmarks.bench_a5_broker_network", "run_a5",
+           "covering-based broker forwarding"),
+    "a6": ("benchmarks.bench_a6_combiner", "run_a6",
+           "map-side combining"),
+    "a7": ("benchmarks.bench_a7_genpack_monitoring", "run_a7",
+           "GenPack monitoring ablation + crash injection"),
+    "a8": ("benchmarks.bench_a8_paging_avoidance", "run_a8",
+           "future work: paging-avoiding hot/cold matcher"),
+}
+
+
+def _load(experiment_id):
+    module_name, function_name, _description = EXPERIMENTS[experiment_id]
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise SystemExit(
+            "could not import %s (%s); run from the repository root so "
+            "the benchmarks/ package is importable" % (module_name, exc)
+        )
+    return module, getattr(module, function_name)
+
+
+def _render(experiment_id, result):
+    from benchmarks._harness import format_table
+
+    title = "%s -- %s" % (
+        experiment_id.upper(), EXPERIMENTS[experiment_id][2]
+    )
+    if isinstance(result, list) and result and isinstance(result[0], tuple):
+        print(format_table(
+            title,
+            tuple("col%d" % i for i in range(len(result[0]))),
+            result,
+        ))
+        return
+    print(title)
+    if isinstance(result, dict):
+        for key, value in result.items():
+            print("  %-24s %s" % (key, value))
+    elif isinstance(result, tuple):
+        for part in result:
+            if isinstance(part, dict):
+                for key, value in part.items():
+                    print("  %-32s %s" % (key, value))
+            else:
+                print("  %s" % (part,))
+    else:
+        print("  %r" % (result,))
+
+
+def run_experiment(experiment_id):
+    """Execute one experiment and print its rows."""
+    _module, function = _load(experiment_id)
+    result = function()
+    _render(experiment_id, result)
+    return result
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Regenerate SecureCloud reproduction experiments",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("list", help="list experiment ids")
+    runner = commands.add_parser("run", help="run one experiment (or 'all')")
+    runner.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    arguments = parser.parse_args(argv)
+
+    if arguments.command == "list":
+        for experiment_id in sorted(EXPERIMENTS):
+            print("%-4s %s" % (experiment_id, EXPERIMENTS[experiment_id][2]))
+        return 0
+    targets = (
+        sorted(EXPERIMENTS)
+        if arguments.experiment == "all"
+        else [arguments.experiment]
+    )
+    for experiment_id in targets:
+        run_experiment(experiment_id)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

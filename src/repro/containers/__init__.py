@@ -1,0 +1,33 @@
+"""A Docker-like container platform with SCONE secure containers.
+
+Models the workflow of the paper's Figure 2: a trusted build
+environment produces a *secure image* (encrypted file-system layers plus
+an FS protection file), publishes it through an **untrusted** registry,
+and an engine on an SGX host runs it as a secure container that is
+indistinguishable from a regular one.
+
+- :mod:`~repro.containers.image` -- content-addressed layers & images.
+- :mod:`~repro.containers.registry` -- the untrusted image registry.
+- :mod:`~repro.containers.build` -- the secure image build pipeline.
+- :mod:`~repro.containers.client` -- the SCONE client (Docker-client
+  wrapper): build, sign, push, verify, customize.
+- :mod:`~repro.containers.engine` -- hosts and container lifecycle.
+"""
+
+from repro.containers.build import SecureImageBuilder
+from repro.containers.client import SconeClient
+from repro.containers.engine import Container, ContainerEngine, ContainerState, Host
+from repro.containers.image import Image, Layer
+from repro.containers.registry import Registry
+
+__all__ = [
+    "Container",
+    "ContainerEngine",
+    "ContainerState",
+    "Host",
+    "Image",
+    "Layer",
+    "Registry",
+    "SconeClient",
+    "SecureImageBuilder",
+]

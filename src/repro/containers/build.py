@@ -1,0 +1,87 @@
+"""The secure image build pipeline (paper Figure 2, left half).
+
+Runs in the *trusted environment* of the image creator:
+
+1. "statically link" the micro-service against the SCONE library --
+   here: wrap the application entry points into measured
+   :class:`~repro.sgx.enclave.EnclaveCode` (no shared libraries by
+   design, so the whole code identity is covered by the measurement);
+2. encrypt every protected file with per-file keys through the FS
+   shield, producing ciphertext chunk blobs that go into the image;
+3. produce the FS protection file (chunk MACs + file keys), encrypt it,
+   and add it to the image under ``/.scone/fspf``;
+4. derive the SCF (stream keys, FS protection file hash + key, args,
+   env) and register it with the CAS under the enclave measurement.
+"""
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import KeyHierarchy
+from repro.scone.fs_shield import ProtectedVolume, UntrustedStore
+from repro.scone.scf import StartupConfiguration
+from repro.sgx.enclave import EnclaveCode
+from repro.containers.image import FSPF_PATH, Image, ImageConfig, Layer, chunk_path
+
+
+@dataclass
+class BuildResult:
+    """Everything the build pipeline produced."""
+
+    image: Image
+    scf: StartupConfiguration
+    measurement: str
+    fspf_hash: bytes
+
+
+class SecureImageBuilder:
+    """Builds secure images inside a trusted environment."""
+
+    def __init__(self, key_hierarchy=None, chunk_size=4096):
+        self.keys = key_hierarchy or KeyHierarchy.generate()
+        self.chunk_size = chunk_size
+
+    def build(self, name, entry_points, protected_files=None, public_files=None,
+              tag="latest", arguments=(), environment=None, config=None,
+              code_version=1):
+        """Produce a :class:`BuildResult` for the given micro-service.
+
+        ``protected_files`` maps paths to plaintext that must be secret
+        and authenticated; ``public_files`` are shipped as-is (e.g. open
+        configuration a customiser may want to inspect).
+        """
+        enclave_code = EnclaveCode(name, entry_points, version=code_version)
+
+        # Encrypt protected files via the FS shield into a staging store.
+        staging_store = UntrustedStore()
+        volume = ProtectedVolume(staging_store, chunk_size=self.chunk_size)
+        for path, plaintext in sorted((protected_files or {}).items()):
+            volume.write(path, plaintext)
+
+        layer_files = {}
+        for (path, index), blob in staging_store._chunks.items():
+            layer_files[chunk_path(path, index)] = blob
+        fspf_key = self.keys.aead_key("fspf")
+        fspf_hash = volume.protection.content_hash()
+        layer_files[FSPF_PATH] = volume.protection.encrypt(fspf_key)
+        layer_files.update(public_files or {})
+
+        image = Image(
+            name,
+            tag,
+            layers=[Layer(layer_files, comment="secure build")],
+            config=config or ImageConfig(),
+            enclave_code=enclave_code,
+        )
+
+        scf = StartupConfiguration.create(
+            self.keys,
+            fspf_hash,
+            arguments=arguments,
+            environment=environment,
+        )
+        return BuildResult(
+            image=image,
+            scf=scf,
+            measurement=enclave_code.measurement,
+            fspf_hash=fspf_hash,
+        )

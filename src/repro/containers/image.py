@@ -1,0 +1,147 @@
+"""Content-addressed container images.
+
+A :class:`Layer` maps paths to blobs; its identity is a hash of its
+contents, so any modification in transit or in the registry changes the
+digest.  An :class:`Image` is an ordered stack of layers plus a config;
+later layers override earlier ones when flattened, which is how
+end-users customise a published secure image (paper Section V-A).
+
+Secure images carry two extra artifacts produced by the build pipeline:
+the encrypted FS protection file (under ``FSPF_PATH``) and the enclave
+code reference; their confidentiality/integrity does **not** depend on
+the registry being honest.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.crypto.primitives import sha256_hex
+
+FSPF_PATH = "/.scone/fspf"
+CHUNK_PREFIX = "/.scone/chunks/"
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One immutable file-system layer."""
+
+    files: dict
+    comment: str = ""
+
+    @property
+    def digest(self):
+        """Content hash over paths and blobs."""
+        hasher_input = []
+        for path in sorted(self.files):
+            blob = self.files[path]
+            hasher_input.append(path.encode("utf-8"))
+            hasher_input.append(len(blob).to_bytes(8, "big"))
+            hasher_input.append(bytes(blob))
+        return sha256_hex(b"".join(hasher_input))
+
+    def size(self):
+        """Total bytes across all files."""
+        return sum(len(blob) for blob in self.files.values())
+
+
+@dataclass
+class ImageConfig:
+    """Runtime configuration baked into the image."""
+
+    entrypoint: str = "main"
+    environment: dict = field(default_factory=dict)
+    labels: dict = field(default_factory=dict)
+
+    def canonical_bytes(self):
+        pieces = [self.entrypoint.encode("utf-8")]
+        for mapping in (self.environment, self.labels):
+            for key in sorted(mapping):
+                pieces.append(
+                    ("%s=%s" % (key, mapping[key])).encode("utf-8")
+                )
+        return b"|".join(pieces)
+
+
+class Image:
+    """An ordered stack of layers under a ``name:tag`` reference."""
+
+    def __init__(self, name, tag="latest", layers=(), config=None,
+                 enclave_code=None):
+        if not name:
+            raise ConfigurationError("image name must be non-empty")
+        self.name = name
+        self.tag = tag
+        self.layers = list(layers)
+        self.config = config or ImageConfig()
+        # For secure images: the measured code that must run in the
+        # enclave.  Plain images leave it None.
+        self.enclave_code = enclave_code
+
+    @property
+    def reference(self):
+        """The ``name:tag`` string."""
+        return "%s:%s" % (self.name, self.tag)
+
+    @property
+    def digest(self):
+        """Manifest digest over layer digests + config (+ measurement)."""
+        pieces = [layer.digest.encode("ascii") for layer in self.layers]
+        pieces.append(self.config.canonical_bytes())
+        if self.enclave_code is not None:
+            pieces.append(self.enclave_code.measurement.encode("ascii"))
+        return sha256_hex(b"|".join(pieces))
+
+    @property
+    def is_secure(self):
+        """Whether this image was produced by the secure build pipeline."""
+        return self.enclave_code is not None and any(
+            FSPF_PATH in layer.files for layer in self.layers
+        )
+
+    def flatten(self):
+        """The effective file system: later layers win."""
+        merged = {}
+        for layer in self.layers:
+            merged.update(layer.files)
+        return merged
+
+    def add_layer(self, files, comment=""):
+        """Return a new image with one more (customisation) layer."""
+        extended = Image(
+            self.name,
+            self.tag,
+            self.layers + [Layer(dict(files), comment)],
+            self.config,
+            enclave_code=self.enclave_code,
+        )
+        return extended
+
+    def fspf_blob(self):
+        """The encrypted FS protection file carried by a secure image."""
+        flattened = self.flatten()
+        blob = flattened.get(FSPF_PATH)
+        if blob is None:
+            raise ConfigurationError(
+                "image %s carries no FS protection file" % self.reference
+            )
+        return blob
+
+    def protected_chunks(self):
+        """The encrypted chunk blobs, keyed by ``(path, index)``."""
+        chunks = {}
+        for path, blob in self.flatten().items():
+            if not path.startswith(CHUNK_PREFIX):
+                continue
+            remainder = path[len(CHUNK_PREFIX):]
+            encoded_path, _sep, index = remainder.rpartition("#")
+            chunks[("/" + encoded_path.lstrip("/"), int(index))] = blob
+        return chunks
+
+    def size(self):
+        """Total bytes across all layers."""
+        return sum(layer.size() for layer in self.layers)
+
+
+def chunk_path(path, index):
+    """Layer path under which an encrypted chunk is stored."""
+    return "%s%s#%d" % (CHUNK_PREFIX, path.lstrip("/"), index)

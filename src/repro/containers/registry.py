@@ -1,0 +1,73 @@
+"""The untrusted image registry.
+
+Stores images by reference and digest.  Because it is *untrusted*, it
+exposes the same attacker toolbox style as the untrusted chunk store:
+tests use :meth:`tamper_layer` to verify that secure images survive a
+hostile registry (confidentiality via encryption, integrity via the
+signed FS protection file and digest checks in the SCONE client).
+"""
+
+from repro.errors import ConfigurationError
+from repro.containers.image import Image, Layer
+
+
+class Registry:
+    """A name -> image store with optional signature records."""
+
+    def __init__(self, name="registry.example.com"):
+        self.name = name
+        self._images = {}
+        self._signatures = {}
+        self.pushes = 0
+        self.pulls = 0
+
+    def push(self, image, signature=None, signer_public_key=None):
+        """Publish an image; optionally record the creator's signature.
+
+        The signature covers the image digest (which in turn covers the
+        FS protection file blob), implementing "the image creator would
+        only sign the FS protection file" from Section V-A.
+        """
+        self._images[image.reference] = image
+        if signature is not None:
+            self._signatures[image.reference] = (signature, signer_public_key)
+        self.pushes += 1
+        return image.digest
+
+    def pull(self, reference):
+        """Fetch an image by ``name:tag``."""
+        try:
+            image = self._images[reference]
+        except KeyError:
+            raise ConfigurationError(
+                "no image %r in registry %s" % (reference, self.name)
+            ) from None
+        self.pulls += 1
+        return image
+
+    def signature_for(self, reference):
+        """The recorded ``(signature, public_key)`` pair, if any."""
+        return self._signatures.get(reference)
+
+    def references(self):
+        """All published references."""
+        return sorted(self._images)
+
+    # --- attacker's toolbox (tests only) ---
+
+    def tamper_layer(self, reference, layer_index, path, new_blob):
+        """Replace one file inside a stored image's layer."""
+        image = self._images[reference]
+        layer = image.layers[layer_index]
+        files = dict(layer.files)
+        files[path] = new_blob
+        tampered_layers = list(image.layers)
+        tampered_layers[layer_index] = Layer(files, layer.comment)
+        self._images[reference] = Image(
+            image.name, image.tag, tampered_layers, image.config,
+            enclave_code=image.enclave_code,
+        )
+
+    def replace_image(self, reference, image):
+        """Swap a published image wholesale (malicious re-publish)."""
+        self._images[reference] = image

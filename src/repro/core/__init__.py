@@ -1,0 +1,19 @@
+"""The SecureCloud platform facade.
+
+Ties the whole stack together: describe an application as a set of
+micro-services (:mod:`~repro.core.application`), then deploy it with
+one call (:mod:`~repro.core.deployment`) -- secure image build, publish
+to the untrusted registry, signature verification, placement on SGX
+hosts, attested boot with SCF delivery, event-bus wiring, QoS
+monitoring, and orchestration.
+"""
+
+from repro.core.application import ApplicationSpec, ServiceSpec
+from repro.core.deployment import Deployment, SecureCloudPlatform
+
+__all__ = [
+    "ApplicationSpec",
+    "Deployment",
+    "SecureCloudPlatform",
+    "ServiceSpec",
+]

@@ -1,0 +1,52 @@
+"""Cryptographic substrate for the SecureCloud reproduction.
+
+The real system uses AES-GCM inside SGX and TLS between components.
+Python's standard library ships no AEAD cipher, so this package builds
+one from primitives that *are* available (SHA-256 / HMAC): an
+encrypt-then-MAC stream construction with real confidentiality and
+integrity round-trip semantics.  Signatures are textbook RSA with
+full-domain hashing, and key agreement is finite-field Diffie-Hellman
+over the RFC 3526 2048-bit MODP group.
+
+These constructions are faithful in *behaviour* (tampering is detected,
+keys must match, handshakes authenticate both ends) and are exactly what
+the reproduction needs; they are **not** hardened production
+cryptography (no side-channel defences, textbook RSA padding).
+"""
+
+from repro.crypto.aead import AeadKey, Ciphertext
+from repro.crypto.dh import DhKeyPair, DH_GENERATOR, DH_PRIME
+from repro.crypto.kdf import hkdf, hkdf_expand, hkdf_extract
+from repro.crypto.keys import KeyHierarchy
+from repro.crypto.primitives import (
+    DeterministicRandomSource,
+    SystemRandomSource,
+    constant_time_equal,
+    hmac_sha256,
+    keystream,
+    sha256,
+)
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey
+from repro.crypto.tls import SecureChannel, establish_channel
+
+__all__ = [
+    "AeadKey",
+    "Ciphertext",
+    "DH_GENERATOR",
+    "DH_PRIME",
+    "DeterministicRandomSource",
+    "DhKeyPair",
+    "KeyHierarchy",
+    "RsaKeyPair",
+    "RsaPublicKey",
+    "SecureChannel",
+    "SystemRandomSource",
+    "constant_time_equal",
+    "establish_channel",
+    "hkdf",
+    "hkdf_expand",
+    "hkdf_extract",
+    "hmac_sha256",
+    "keystream",
+    "sha256",
+]

@@ -1,0 +1,54 @@
+"""Finite-field Diffie-Hellman key agreement (RFC 3526 group 14)."""
+
+from repro.crypto.kdf import hkdf
+from repro.crypto.primitives import SystemRandomSource
+
+# RFC 3526, 2048-bit MODP group.
+DH_PRIME = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+DH_GENERATOR = 2
+_SECRET_BITS = 256
+
+
+class DhKeyPair:
+    """An ephemeral Diffie-Hellman key pair.
+
+    >>> a, b = DhKeyPair.generate(), DhKeyPair.generate()
+    >>> a.shared_key(b.public_value) == b.shared_key(a.public_value)
+    True
+    """
+
+    def __init__(self, private_value, prime=DH_PRIME, generator=DH_GENERATOR):
+        if not 1 < private_value < prime - 1:
+            raise ValueError("private value out of range")
+        self._private = private_value
+        self.prime = prime
+        self.generator = generator
+        self.public_value = pow(generator, private_value, prime)
+
+    @classmethod
+    def generate(cls, random_source=None):
+        """Draw a fresh ephemeral key pair."""
+        source = random_source or SystemRandomSource()
+        private = 2 + source.randbits(_SECRET_BITS)
+        return cls(private)
+
+    def shared_key(self, peer_public_value, info=b"securecloud-dh"):
+        """Derive the 32-byte shared key with a peer's public value."""
+        if not 1 < peer_public_value < self.prime - 1:
+            raise ValueError("peer public value out of range")
+        secret = pow(peer_public_value, self._private, self.prime)
+        width = (self.prime.bit_length() + 7) // 8
+        return hkdf(secret.to_bytes(width, "big"), info, length=32)

@@ -1,0 +1,35 @@
+"""HKDF (RFC 5869) key derivation over HMAC-SHA256."""
+
+from repro.crypto.primitives import hmac_sha256
+
+_HASH_LEN = 32
+
+
+def hkdf_extract(salt, input_key_material):
+    """Extract a pseudo-random key from input key material."""
+    if not salt:
+        salt = b"\x00" * _HASH_LEN
+    return hmac_sha256(salt, input_key_material)
+
+
+def hkdf_expand(pseudo_random_key, info, length):
+    """Expand a PRK into ``length`` bytes of output key material."""
+    if length > 255 * _HASH_LEN:
+        raise ValueError("HKDF output too long")
+    blocks = []
+    previous = b""
+    counter = 1
+    produced = 0
+    while produced < length:
+        previous = hmac_sha256(
+            pseudo_random_key, previous + info + bytes([counter])
+        )
+        blocks.append(previous)
+        produced += len(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hkdf(input_key_material, info, length=32, salt=b""):
+    """One-shot extract-then-expand."""
+    return hkdf_expand(hkdf_extract(salt, input_key_material), info, length)

@@ -1,0 +1,47 @@
+"""Key hierarchy: derive purpose-specific keys from one root secret.
+
+The SCONE client, the FS shield, and the stream shield each need their
+own keys.  Deriving them all from a single root via HKDF with distinct
+labels means an image creator manages one secret, and compromise of a
+derived key does not reveal siblings.
+"""
+
+from repro.crypto.aead import AeadKey, KEY_SIZE
+from repro.crypto.kdf import hkdf
+from repro.crypto.primitives import SystemRandomSource
+
+
+class KeyHierarchy:
+    """A labelled tree of keys rooted in one secret.
+
+    >>> root = KeyHierarchy.generate()
+    >>> fs_key = root.aead_key("fs", "volume-0")
+    >>> root.aead_key("fs", "volume-0") == fs_key   # deterministic
+    True
+    >>> root.aead_key("stdio") == fs_key            # independent
+    False
+    """
+
+    def __init__(self, root_secret):
+        if len(root_secret) < 16:
+            raise ValueError("root secret must be at least 16 bytes")
+        self._root = bytes(root_secret)
+
+    @classmethod
+    def generate(cls, random_source=None):
+        """Create a hierarchy from a fresh random root."""
+        source = random_source or SystemRandomSource()
+        return cls(source.bytes(KEY_SIZE))
+
+    def derive_bytes(self, *labels, length=KEY_SIZE):
+        """Raw key material for the labelled path."""
+        info = b"|".join(str(label).encode("utf-8") for label in labels)
+        return hkdf(self._root, b"securecloud-kh|" + info, length=length)
+
+    def aead_key(self, *labels):
+        """An :class:`AeadKey` for the labelled path (deterministic)."""
+        return AeadKey(self.derive_bytes(*labels))
+
+    def subhierarchy(self, *labels):
+        """A child hierarchy whose keys are independent of the parent's."""
+        return KeyHierarchy(self.derive_bytes("subtree", *labels))

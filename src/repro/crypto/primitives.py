@@ -1,0 +1,90 @@
+"""Hash, MAC, keystream, and randomness primitives."""
+
+import hashlib
+import hmac as _hmac
+import os
+import random
+
+
+def sha256(data):
+    """SHA-256 digest of ``data`` (bytes in, 32 bytes out)."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256_hex(data):
+    """SHA-256 digest as a hex string (content addressing, identities)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def hmac_sha256(key, data):
+    """HMAC-SHA256 tag of ``data`` under ``key`` (32 bytes)."""
+    return _hmac.new(key, data, hashlib.sha256).digest()
+
+
+def constant_time_equal(a, b):
+    """Timing-safe comparison for MACs and hashes."""
+    return _hmac.compare_digest(a, b)
+
+
+def keystream(key, nonce, length):
+    """Deterministic keystream: HMAC-SHA256 in counter mode.
+
+    Block i is ``HMAC(key, nonce || i)``; the construction is a PRF in
+    counter mode, i.e. a stream cipher keyed by (key, nonce).  Reusing a
+    (key, nonce) pair leaks plaintext XOR, exactly as with AES-CTR, so
+    callers must use fresh nonces (the AEAD layer does).
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    blocks = []
+    counter = 0
+    produced = 0
+    while produced < length:
+        block = _hmac.new(
+            key, nonce + counter.to_bytes(8, "big"), hashlib.sha256
+        ).digest()
+        blocks.append(block)
+        produced += len(block)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def xor_bytes(data, stream):
+    """XOR ``data`` with a same-length ``stream``."""
+    if len(data) != len(stream):
+        raise ValueError("xor operands must have equal length")
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+class SystemRandomSource:
+    """Randomness from the operating system (default in production)."""
+
+    def bytes(self, n):
+        """``n`` unpredictable bytes."""
+        return os.urandom(n)
+
+    def randbits(self, k):
+        """A ``k``-bit random integer."""
+        return int.from_bytes(os.urandom((k + 7) // 8), "big") >> (
+            (8 - k % 8) % 8
+        )
+
+
+class DeterministicRandomSource:
+    """Seeded randomness for reproducible tests and benchmarks.
+
+    Never use outside tests: its output is predictable by construction.
+    """
+
+    def __init__(self, seed=0):
+        self._random = random.Random(seed)
+
+    def bytes(self, n):
+        """``n`` deterministic pseudo-random bytes."""
+        if n == 0:
+            return b""
+        return self._random.getrandbits(8 * n).to_bytes(n, "big")
+
+    def randbits(self, k):
+        """A deterministic ``k``-bit integer."""
+        return self._random.getrandbits(k)

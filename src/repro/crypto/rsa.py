@@ -1,0 +1,134 @@
+"""RSA signatures with full-domain hashing.
+
+Used for enclave quotes (the quoting enclave's attestation key), image
+signing, and channel authentication.  Key generation uses Miller-Rabin
+primality testing; 1024-bit keys are the default (generation stays fast
+in pure Python) and tests may use 512-bit keys.
+
+Signing applies a full-domain hash: the message digest is expanded with
+HKDF-style blocks to the modulus width before exponentiation, so the
+scheme is deterministic and existentially unforgeable under the usual
+FDH assumptions (adequate for a simulation; not hardened).
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import IntegrityError
+from repro.crypto.primitives import SystemRandomSource, hmac_sha256, sha256
+
+_MILLER_RABIN_ROUNDS = 40
+_FDH_LABEL = b"securecloud-rsa-fdh"
+
+
+def _is_probable_prime(candidate, random_source):
+    if candidate < 2:
+        return False
+    small_primes = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47)
+    for prime in small_primes:
+        if candidate % prime == 0:
+            return candidate == prime
+    # Write candidate-1 as d * 2^r with d odd.
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(_MILLER_RABIN_ROUNDS):
+        a = 2 + random_source.randbits(candidate.bit_length() - 2) % (candidate - 3)
+        x = pow(a, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, candidate)
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _generate_prime(bits, random_source):
+    while True:
+        candidate = random_source.randbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # full width, odd
+        if _is_probable_prime(candidate, random_source):
+            return candidate
+
+
+def _full_domain_hash(message, modulus):
+    """Hash ``message`` to an integer in [1, modulus)."""
+    width = (modulus.bit_length() + 7) // 8
+    digest = sha256(message)
+    blocks = []
+    produced = 0
+    counter = 0
+    while produced < width:
+        block = hmac_sha256(digest, _FDH_LABEL + counter.to_bytes(4, "big"))
+        blocks.append(block)
+        produced += len(block)
+        counter += 1
+    value = int.from_bytes(b"".join(blocks)[:width], "big")
+    return (value % (modulus - 2)) + 1
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """An RSA verification key (n, e)."""
+
+    modulus: int
+    exponent: int
+
+    def verify(self, message, signature):
+        """Raise :class:`IntegrityError` unless ``signature`` is valid."""
+        if not 0 < signature < self.modulus:
+            raise IntegrityError("RSA signature out of range")
+        expected = _full_domain_hash(message, self.modulus)
+        if pow(signature, self.exponent, self.modulus) != expected:
+            raise IntegrityError("RSA signature verification failed")
+
+    def is_valid(self, message, signature):
+        """Boolean form of :meth:`verify`."""
+        try:
+            self.verify(message, signature)
+        except IntegrityError:
+            return False
+        return True
+
+    def fingerprint(self):
+        """Stable public identifier of this key."""
+        material = self.modulus.to_bytes(
+            (self.modulus.bit_length() + 7) // 8, "big"
+        ) + self.exponent.to_bytes(8, "big")
+        return sha256(material)[:8].hex()
+
+
+class RsaKeyPair:
+    """An RSA signing key pair."""
+
+    def __init__(self, modulus, public_exponent, private_exponent):
+        self.public_key = RsaPublicKey(modulus, public_exponent)
+        self._private_exponent = private_exponent
+
+    @classmethod
+    def generate(cls, bits=1024, random_source=None):
+        """Generate a fresh key pair of the given modulus width."""
+        if bits < 128:
+            raise ValueError("modulus too small to be meaningful")
+        source = random_source or SystemRandomSource()
+        exponent = 65537
+        while True:
+            p = _generate_prime(bits // 2, source)
+            q = _generate_prime(bits - bits // 2, source)
+            if p == q:
+                continue
+            phi = (p - 1) * (q - 1)
+            try:
+                d = pow(exponent, -1, phi)
+            except ValueError:
+                continue
+            return cls(p * q, exponent, d)
+
+    def sign(self, message):
+        """Produce a deterministic FDH signature over ``message``."""
+        hashed = _full_domain_hash(message, self.public_key.modulus)
+        return pow(hashed, self._private_exponent, self.public_key.modulus)

@@ -1,0 +1,54 @@
+"""Exception hierarchy shared by all SecureCloud subsystems.
+
+Every error raised by this package derives from :class:`SecureCloudError`
+so applications can catch platform failures with a single handler while
+still being able to distinguish security-relevant conditions (integrity
+violations, failed attestation) from operational ones (capacity,
+configuration).
+"""
+
+
+class SecureCloudError(Exception):
+    """Base class for all errors raised by the SecureCloud platform."""
+
+
+class IntegrityError(SecureCloudError):
+    """Data failed an authenticity or integrity check.
+
+    Raised when a MAC does not verify, a content hash mismatches, a
+    signature is invalid, or protected file-system state was tampered
+    with.  Treat this as evidence of an attack, not a transient fault.
+    """
+
+
+class AttestationError(SecureCloudError):
+    """Remote or local attestation of an enclave failed.
+
+    Raised when a quote's signature is invalid, the reported measurement
+    does not match the expected one, or the attested platform is not
+    trusted by the verification service.
+    """
+
+
+class CapacityError(SecureCloudError):
+    """A resource request exceeded available capacity.
+
+    Raised by the EPC allocator, the container engine, and the GenPack
+    scheduler when a placement or allocation cannot be satisfied.
+    """
+
+
+class ConfigurationError(SecureCloudError):
+    """Invalid or inconsistent configuration was supplied."""
+
+
+class EnclaveError(SecureCloudError):
+    """An enclave operation failed (bad ECALL, destroyed enclave, ...)."""
+
+
+class SchedulingError(SecureCloudError):
+    """The scheduler could not produce a valid placement."""
+
+
+class TransportError(SecureCloudError):
+    """A simulated network channel failed (handshake, framing, routing)."""

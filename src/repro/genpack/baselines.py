@@ -1,0 +1,126 @@
+"""Baseline schedulers GenPack is compared against.
+
+- :class:`SpreadScheduler`: the common default (Docker Swarm "spread",
+  Kubernetes' default flavour): balance containers across *all*
+  servers, which are always powered on.
+- :class:`RandomScheduler`: uniform random placement over servers that
+  fit; all servers on.
+- :class:`FirstFitScheduler`: request-based bin packing with power
+  management -- the strongest non-generational baseline.  It lacks
+  GenPack's two advantages: usage-based packing (so request inflation
+  wastes capacity) and generational segregation (so long-lived
+  containers pin servers that short batch jobs keep half-empty).
+"""
+
+from repro.errors import SchedulingError
+from repro.sim.rng import RandomStream
+
+
+class _BaselineBase:
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.migrations = 0
+        self.rejected = 0
+
+    def on_departure(self, container, time):
+        if container.server is not None:
+            container.server.evict(container)
+
+    def on_tick(self, time):
+        """Baselines do nothing periodically (no consolidation)."""
+
+    def on_server_failure(self, server, time):
+        """Reschedule a crashed server's residents via normal arrival."""
+        stranded = []
+        for container in server.crash():
+            try:
+                self.on_arrival(container, time)
+                self.migrations += 1
+            except SchedulingError:
+                stranded.append(container)
+        return stranded
+
+    def _fail(self, container):
+        self.rejected += 1
+        raise SchedulingError(
+            "no capacity for %s" % container.spec.container_id
+        )
+
+
+class SpreadScheduler(_BaselineBase):
+    """Least-loaded placement; every server always on."""
+
+    name = "spread"
+
+    def on_arrival(self, container, time):
+        candidates = [
+            server
+            for server in self.cluster.powered_on
+            if server.fits_requests(container.spec)
+        ]
+        if not candidates:
+            self._fail(container)
+        server = min(candidates, key=lambda s: s.cpu_requested)
+        server.place(container)
+        container.placed_at = time
+        return server
+
+
+class RandomScheduler(_BaselineBase):
+    """Uniform random placement; every server always on."""
+
+    name = "random"
+
+    def __init__(self, cluster, seed=0):
+        super().__init__(cluster)
+        self.rng = RandomStream(seed).child("random-scheduler")
+
+    def on_arrival(self, container, time):
+        candidates = [
+            server
+            for server in self.cluster.powered_on
+            if server.fits_requests(container.spec)
+        ]
+        if not candidates:
+            self._fail(container)
+        server = self.rng.choice(candidates)
+        server.place(container)
+        container.placed_at = time
+        return server
+
+
+class FirstFitScheduler(_BaselineBase):
+    """Request-based bin packing with power-off of empty servers."""
+
+    name = "first-fit"
+
+    def __init__(self, cluster, keep_on=1):
+        super().__init__(cluster)
+        self.keep_on = keep_on
+        for index, server in enumerate(cluster.servers):
+            if index >= keep_on and server.is_empty:
+                server.power_off()
+
+    def on_arrival(self, container, time):
+        for server in self.cluster.powered_on:
+            if server.fits_requests(container.spec):
+                server.place(container)
+                container.placed_at = time
+                return server
+        for server in self.cluster.powered_off:
+            if server.failed:
+                continue
+            server.power_on()
+            if server.fits_requests(container.spec):
+                server.place(container)
+                container.placed_at = time
+                return server
+            server.power_off()
+        self._fail(container)
+
+    def on_tick(self, time):
+        """Power off servers that have drained empty."""
+        on = self.cluster.powered_on
+        for server in on[self.keep_on:]:
+            if server.is_empty:
+                server.power_off()

@@ -1,0 +1,195 @@
+"""Servers and the cluster they form."""
+
+from repro.errors import CapacityError, SchedulingError
+
+
+class Server:
+    """One physical machine from the scheduler's point of view.
+
+    Capacities are normalised: CPU in cores, memory in GB.  A server
+    tracks both *requested* allocations (what containers asked for) and
+    *observed* usage (what the monitor measured), because GenPack's
+    older generations pack by the latter.
+    """
+
+    def __init__(self, name, cpu_capacity=16.0, mem_capacity=64.0):
+        self.name = name
+        self.cpu_capacity = cpu_capacity
+        self.mem_capacity = mem_capacity
+        self.powered_on = True
+        self.failed = False
+        self.generation = None
+        self.containers = {}
+
+    # --- aggregate views ---
+
+    @property
+    def cpu_requested(self):
+        """Sum of CPU requests of resident containers."""
+        return sum(c.spec.cpu_request for c in self.containers.values())
+
+    @property
+    def mem_requested(self):
+        """Sum of memory requests of resident containers."""
+        return sum(c.spec.mem_request for c in self.containers.values())
+
+    @property
+    def cpu_used(self):
+        """Sum of observed CPU usage of resident containers."""
+        return sum(c.observed_cpu for c in self.containers.values())
+
+    @property
+    def utilization(self):
+        """Observed CPU utilisation in [0, 1] (0 when powered off)."""
+        if not self.powered_on or self.cpu_capacity == 0:
+            return 0.0
+        return min(1.0, self.cpu_used / self.cpu_capacity)
+
+    @property
+    def is_empty(self):
+        return not self.containers
+
+    # --- placement ---
+
+    def fits_requests(self, spec, headroom=1.0):
+        """Whether the server can host ``spec`` judged by requests."""
+        return (
+            self.powered_on
+            and self.cpu_requested + spec.cpu_request
+            <= self.cpu_capacity * headroom
+            and self.mem_requested + spec.mem_request
+            <= self.mem_capacity * headroom
+        )
+
+    def fits_usage(self, container, target_utilization):
+        """Whether the server can host ``container`` judged by usage."""
+        return (
+            self.powered_on
+            and self.cpu_used + container.observed_cpu
+            <= self.cpu_capacity * target_utilization
+            and self.mem_requested + container.spec.mem_request
+            <= self.mem_capacity
+        )
+
+    def place(self, container):
+        """Bind a running container to this server."""
+        if not self.powered_on:
+            raise SchedulingError(
+                "cannot place on powered-off server %s" % self.name
+            )
+        if container.spec.container_id in self.containers:
+            raise SchedulingError(
+                "container %s already on %s"
+                % (container.spec.container_id, self.name)
+            )
+        self.containers[container.spec.container_id] = container
+        container.server = self
+
+    def evict(self, container):
+        """Unbind a container (departure or migration)."""
+        removed = self.containers.pop(container.spec.container_id, None)
+        if removed is None:
+            raise SchedulingError(
+                "container %s not on server %s"
+                % (container.spec.container_id, self.name)
+            )
+
+    def power_off(self):
+        """Turn the server off; only legal when empty."""
+        if self.containers:
+            raise SchedulingError(
+                "cannot power off %s with %d containers"
+                % (self.name, len(self.containers))
+            )
+        self.powered_on = False
+
+    def power_on(self):
+        """Bring the server back."""
+        if self.failed:
+            raise SchedulingError("cannot power on failed server %s" % self.name)
+        self.powered_on = True
+
+    def crash(self):
+        """Hardware failure: drops power with residents still placed.
+
+        Returns the orphaned containers so the scheduler can reschedule
+        them elsewhere; the server stays unusable until repaired.
+        """
+        orphans = list(self.containers.values())
+        self.containers.clear()
+        for container in orphans:
+            container.server = None
+        self.powered_on = False
+        self.failed = True
+        return orphans
+
+    def repair(self):
+        """Bring a failed server back into the schedulable pool (off)."""
+        self.failed = False
+        self.powered_on = False
+
+
+class Cluster:
+    """A fixed fleet of servers."""
+
+    def __init__(self, servers):
+        if not servers:
+            raise CapacityError("a cluster needs at least one server")
+        names = [server.name for server in servers]
+        if len(set(names)) != len(names):
+            raise CapacityError("server names must be unique")
+        self.servers = list(servers)
+
+    @classmethod
+    def homogeneous(cls, count, cpu_capacity=16.0, mem_capacity=64.0):
+        """``count`` identical servers named srv-000..."""
+        return cls(
+            [
+                Server("srv-%03d" % i, cpu_capacity, mem_capacity)
+                for i in range(count)
+            ]
+        )
+
+    def __len__(self):
+        return len(self.servers)
+
+    @property
+    def powered_on(self):
+        """Servers currently on."""
+        return [server for server in self.servers if server.powered_on]
+
+    @property
+    def powered_off(self):
+        """Servers currently off."""
+        return [server for server in self.servers if not server.powered_on]
+
+    @property
+    def total_cpu_capacity(self):
+        return sum(server.cpu_capacity for server in self.servers)
+
+    def running_containers(self):
+        """All containers across all servers."""
+        result = []
+        for server in self.servers:
+            result.extend(server.containers.values())
+        return result
+
+    def check_invariants(self):
+        """No server over capacity; each container on exactly one server."""
+        seen = set()
+        for server in self.servers:
+            if server.mem_requested > server.mem_capacity + 1e-9:
+                raise SchedulingError(
+                    "server %s memory over-committed" % server.name
+                )
+            for container_id, container in server.containers.items():
+                if container_id in seen:
+                    raise SchedulingError(
+                        "container %s placed twice" % container_id
+                    )
+                if container.server is not server:
+                    raise SchedulingError(
+                        "container %s back-reference broken" % container_id
+                    )
+                seen.add(container_id)
+        return True

@@ -1,0 +1,228 @@
+"""The GenPack scheduler.
+
+Server generations (named after generational GC):
+
+- **nursery**: receives every new container.  Requirements are unknown,
+  so placement is by *request* with generous headroom; the monitor
+  profiles residents.
+- **young**: profiled containers are migrated here and packed
+  first-fit-decreasing by *observed usage* with a safety margin.
+- **old**: containers that survive ``promotion_age`` (long-running
+  services, system containers) are packed tightest -- their profile is
+  stable.
+
+A periodic consolidation pass drains under-utilised young/old servers
+(migrating residents into their generation's other servers) and powers
+empty servers off; placement pressure powers servers back on.
+"""
+
+from repro.errors import SchedulingError
+
+NURSERY = "nursery"
+YOUNG = "young"
+OLD = "old"
+
+
+class GenPackScheduler:
+    """Generation-aware, monitoring-driven placement."""
+
+    name = "genpack"
+
+    def __init__(self, cluster, monitor, nursery_fraction=0.1,
+                 promotion_age=3600.0, young_target_utilization=0.8,
+                 old_target_utilization=0.9, drain_threshold=0.5,
+                 nursery_headroom=1.0, min_nursery_on=1):
+        self.cluster = cluster
+        self.monitor = monitor
+        self.promotion_age = promotion_age
+        self.young_target = young_target_utilization
+        self.old_target = old_target_utilization
+        self.drain_threshold = drain_threshold
+        self.nursery_headroom = nursery_headroom
+        self.min_nursery_on = min_nursery_on
+        self.migrations = 0
+        self.rejected = 0
+
+        nursery_count = max(1, int(len(cluster) * nursery_fraction))
+        for index, server in enumerate(cluster.servers):
+            if index < nursery_count:
+                server.generation = NURSERY
+                # Keep only a minimal nursery powered; wake on demand.
+                if index >= min_nursery_on and server.is_empty:
+                    server.power_off()
+            else:
+                # Non-nursery servers start powered off; consolidation
+                # wakes them on demand.
+                server.generation = YOUNG if index % 2 else OLD
+                if server.is_empty:
+                    server.power_off()
+
+    # --- helpers ---
+
+    def _generation_servers(self, generation, powered_only=True):
+        return [
+            server
+            for server in self.cluster.servers
+            if server.generation == generation
+            and (server.powered_on or not powered_only)
+        ]
+
+    def _wake_server(self, generation):
+        for server in self.cluster.servers:
+            if (
+                server.generation == generation
+                and not server.powered_on
+                and not server.failed
+            ):
+                server.power_on()
+                return server
+        return None
+
+    def _place_by_usage(self, container, generation, target):
+        candidates = sorted(
+            self._generation_servers(generation),
+            key=lambda server: server.cpu_used,
+            reverse=True,  # fill the fullest first (FFD flavour)
+        )
+        for server in candidates:
+            if server.fits_usage(container, target):
+                return server
+        return self._wake_server(generation)
+
+    # --- scheduler interface ---
+
+    def on_arrival(self, container, time):
+        """Place a new container in the nursery (fullest-first)."""
+        candidates = sorted(
+            self._generation_servers(NURSERY),
+            key=lambda server: server.cpu_requested,
+            reverse=True,
+        )
+        for server in candidates:
+            if server.fits_requests(container.spec, self.nursery_headroom):
+                server.place(container)
+                container.generation = NURSERY
+                container.placed_at = time
+                return server
+        server = self._wake_server(NURSERY)
+        if server is None:
+            # Nursery exhausted: borrow capacity, preferring servers
+            # that are already powered on over waking another one.
+            powered = sorted(
+                (
+                    candidate
+                    for candidate in self.cluster.powered_on
+                    if candidate.generation != NURSERY
+                    and candidate.fits_requests(container.spec)
+                ),
+                key=lambda candidate: candidate.cpu_requested,
+                reverse=True,
+            )
+            if powered:
+                server = powered[0]
+            else:
+                server = self._wake_server(YOUNG) or self._wake_server(OLD)
+            if server is None:
+                self.rejected += 1
+                raise SchedulingError(
+                    "no capacity for %s" % container.spec.container_id
+                )
+        server.place(container)
+        container.generation = NURSERY
+        container.placed_at = time
+        return server
+
+    def on_departure(self, container, time):
+        """Remove a finished container."""
+        if container.server is not None:
+            container.server.evict(container)
+
+    def on_server_failure(self, server, time):
+        """Reschedule every resident of a crashed server.
+
+        Profiled containers go back into their generation by observed
+        usage; unprofiled ones restart in the nursery.  Returns the
+        containers that could not be re-placed (capacity exhausted).
+        """
+        orphans = server.crash()
+        stranded = []
+        for container in orphans:
+            generation = container.generation
+            if generation == NURSERY:
+                try:
+                    self.on_arrival(container, time)
+                except SchedulingError:
+                    stranded.append(container)
+                continue
+            target = self.young_target if generation == YOUNG else self.old_target
+            destination = self._place_by_usage(container, generation, target)
+            if destination is None:
+                try:
+                    self.on_arrival(container, time)
+                except SchedulingError:
+                    stranded.append(container)
+                continue
+            destination.place(container)
+            container.migrations += 1
+            self.migrations += 1
+        return stranded
+
+    def _promote(self, container, generation, target, time):
+        destination = self._place_by_usage(container, generation, target)
+        if destination is None or destination is container.server:
+            return False
+        container.server.evict(container)
+        destination.place(container)
+        container.generation = generation
+        container.migrations += 1
+        self.migrations += 1
+        return True
+
+    def on_tick(self, time):
+        """Promotion + consolidation pass (runs on the monitor period)."""
+        # 1. Promote profiled nursery containers to the young generation.
+        for server in self._generation_servers(NURSERY):
+            for container in list(server.containers.values()):
+                if self.monitor.is_profiled(container):
+                    self._promote(container, YOUNG, self.young_target, time)
+        # 2. Promote aged young containers to the old generation.
+        for server in self._generation_servers(YOUNG):
+            for container in list(server.containers.values()):
+                if time - container.placed_at >= self.promotion_age:
+                    self._promote(container, OLD, self.old_target, time)
+        # 3. Drain under-utilised young/old servers.
+        for generation, target in ((YOUNG, self.young_target),
+                                   (OLD, self.old_target)):
+            servers = self._generation_servers(generation)
+            for server in servers:
+                if server.is_empty or server.utilization >= self.drain_threshold:
+                    continue
+                residents = list(server.containers.values())
+                moved_all = True
+                for container in residents:
+                    others = [
+                        candidate
+                        for candidate in self._generation_servers(generation)
+                        if candidate is not server
+                        and candidate.fits_usage(container, target)
+                    ]
+                    if not others:
+                        moved_all = False
+                        continue
+                    destination = max(others, key=lambda s: s.cpu_used)
+                    server.evict(container)
+                    destination.place(container)
+                    container.migrations += 1
+                    self.migrations += 1
+                if moved_all and server.is_empty:
+                    server.power_off()
+        # 4. Power off empty servers (keeping a minimal warm nursery).
+        nursery_on = 0
+        for server in self.cluster.powered_on:
+            if server.generation == NURSERY:
+                if server.is_empty and nursery_on >= self.min_nursery_on:
+                    server.power_off()
+                else:
+                    nursery_on += 1
+            elif server.is_empty:
+                server.power_off()

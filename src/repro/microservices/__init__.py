@@ -1,0 +1,36 @@
+"""The SecureCloud micro-service layer (paper Figure 1).
+
+Applications are sets of micro-services connected by an event bus.
+Each service's application logic lives inside an enclave; the runtime
+outside only ever touches encrypted events.  An orchestrator watches
+QoS metrics and adapts the virtual infrastructure within milliseconds
+(paper Section VI, use case 2).
+
+- :mod:`~repro.microservices.eventbus` -- topic-based bus with virtual
+  delivery latency and per-topic FIFO ordering.
+- :mod:`~repro.microservices.service` -- the micro-service frame:
+  enclave-hosted handlers, sealed inputs and outputs.
+- :mod:`~repro.microservices.registry` -- service discovery with
+  measurement pinning.
+- :mod:`~repro.microservices.qos` -- QoS monitoring, resource
+  accounting, and billing.
+- :mod:`~repro.microservices.orchestrator` -- anomaly detection and
+  reaction.
+"""
+
+from repro.microservices.eventbus import EventBus, SealedEvent
+from repro.microservices.orchestrator import Orchestrator, OrchestratorPolicy
+from repro.microservices.qos import BillingReport, QosMonitor
+from repro.microservices.registry import ServiceRegistry
+from repro.microservices.service import MicroService
+
+__all__ = [
+    "BillingReport",
+    "EventBus",
+    "MicroService",
+    "Orchestrator",
+    "OrchestratorPolicy",
+    "QosMonitor",
+    "SealedEvent",
+    "ServiceRegistry",
+]

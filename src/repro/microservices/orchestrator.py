@@ -1,0 +1,151 @@
+"""The orchestrator: millisecond anomaly detection and reaction.
+
+Paper Section VI (use case 2): "Orchestration services detect anomalies
+within milliseconds, which requires adaptations to the virtual
+infrastructure that hosts the application."
+
+The orchestrator samples the QoS monitor on a fine period (default
+0.5 ms of virtual time) and fires policy reactions when it sees:
+
+- **latency anomaly**: a service's rolling average exceeds its SLO;
+- **liveness anomaly**: a service missed its heartbeat deadline.
+
+Reactions are pluggable; the built-ins restore the service's normal
+speed (modelling a CPU-quota adjustment / migration away from a noisy
+neighbour) and recover crashed services.  Every detection is recorded
+with its virtual-time latency from anomaly onset, which is what the E4
+benchmark reports.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class OrchestratorPolicy:
+    """Thresholds and sampling cadence."""
+
+    sample_period: float = 0.0005        # 0.5 ms
+    latency_slo: float = 0.005           # 5 ms rolling average
+    heartbeat_timeout: float = 0.020     # 20 ms without a sign of life
+    min_observations: int = 3
+    reaction_cooldown: float = 0.050     # grace period after a reaction
+
+
+@dataclass
+class Detection:
+    """One anomaly detection record."""
+
+    service_name: str
+    kind: str              # "latency" | "liveness"
+    detected_at: float
+    onset: float = None
+
+    @property
+    def detection_latency(self):
+        """Seconds from (externally recorded) onset to detection."""
+        if self.onset is None:
+            return None
+        return self.detected_at - self.onset
+
+
+class Orchestrator:
+    """Samples QoS state and adapts the application."""
+
+    def __init__(self, env, monitor, registry, policy=None,
+                 on_detection=None):
+        """``on_detection(detection, service_or_none)`` is invoked after
+        the built-in reaction, letting deployments add adaptations --
+        spawn a replica, migrate a container, page an operator."""
+        self.env = env
+        self.monitor = monitor
+        self.registry = registry
+        self.policy = policy or OrchestratorPolicy()
+        self.on_detection = on_detection
+        self.detections = []
+        self.reactions = 0
+        self._onsets = {}
+        self._flagged = set()
+        self._cooldown_until = {}
+        self._running = False
+
+    def record_onset(self, service_name, time=None):
+        """Tests/benchmarks call this when they inject an anomaly."""
+        self._onsets[service_name] = time if time is not None else self.env.now
+
+    def start(self, duration):
+        """Run the sampling loop for ``duration`` of virtual time."""
+        self._running = True
+        return self.env.process(self._loop(duration))
+
+    def stop(self):
+        """Stop sampling at the next period boundary."""
+        self._running = False
+
+    def _loop(self, duration):
+        deadline = self.env.now + duration
+        while self._running and self.env.now < deadline:
+            yield self.env.timeout(self.policy.sample_period)
+            self._sample()
+
+    def _sample(self):
+        policy = self.policy
+        now = self.env.now
+        for name, state in self.monitor.metrics.items():
+            if name in self._flagged:
+                continue
+            if now < self._cooldown_until.get(name, 0.0):
+                continue
+            if (
+                state.events_handled >= policy.min_observations
+                and state.average_latency() > policy.latency_slo
+            ):
+                self._detect(name, "latency", now)
+            elif now - state.last_heartbeat > policy.heartbeat_timeout:
+                self._detect(name, "liveness", now)
+
+    def _detect(self, service_name, kind, now):
+        detection = Detection(
+            service_name=service_name,
+            kind=kind,
+            detected_at=now,
+            onset=self._onsets.get(service_name),
+        )
+        self.detections.append(detection)
+        self._flagged.add(service_name)
+        self._react(service_name, kind)
+        if self.on_detection is not None:
+            try:
+                service = self.registry.lookup(service_name)
+            except Exception:
+                service = None
+            self.on_detection(detection, service)
+
+    def _react(self, service_name, kind):
+        """Adapt the infrastructure hosting the service."""
+        self.reactions += 1
+        try:
+            service = self.registry.lookup(service_name)
+        except Exception:
+            return
+        if kind == "latency":
+            # Model a CPU-quota bump / migration off the contended host.
+            service.slowdown = 1.0
+        else:
+            service.recover()
+        # Clear rolling state so recovery is observable.
+        state = self.monitor.metrics.get(service_name)
+        if state is not None:
+            state.recent_latencies.clear()
+            state.last_heartbeat = self.env.now
+        self._flagged.discard(service_name)
+        self._cooldown_until[service_name] = (
+            self.env.now + self.policy.reaction_cooldown
+        )
+
+    def detection_latencies(self):
+        """Seconds from onset to detection, for recorded onsets."""
+        return [
+            detection.detection_latency
+            for detection in self.detections
+            if detection.detection_latency is not None
+        ]

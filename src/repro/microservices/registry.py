@@ -1,0 +1,46 @@
+"""Service discovery with measurement pinning.
+
+Services register their name, topics, and enclave measurement; lookups
+verify the measurement against what the deployer pinned, so a swapped
+binary cannot silently take over a service name.
+"""
+
+from repro.errors import AttestationError, ConfigurationError
+
+
+class ServiceRegistry:
+    """Name -> (service, pinned measurement) directory."""
+
+    def __init__(self):
+        self._entries = {}
+        self._pins = {}
+
+    def pin(self, name, measurement):
+        """Declare the only measurement allowed to serve ``name``."""
+        self._pins[name] = measurement
+
+    def register(self, service):
+        """Register a service; verifies any pin for its name."""
+        pinned = self._pins.get(service.name)
+        if pinned is not None and service.measurement != pinned:
+            raise AttestationError(
+                "service %r measurement %s... does not match pinned %s..."
+                % (service.name, service.measurement[:12], pinned[:12])
+            )
+        self._entries[service.name] = service
+        return service
+
+    def lookup(self, name):
+        """Find a registered service."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ConfigurationError("no service %r registered" % name) from None
+
+    def names(self):
+        """Registered service names."""
+        return sorted(self._entries)
+
+    def deregister(self, name):
+        """Remove a service (e.g. after a crash)."""
+        self._entries.pop(name, None)

@@ -1,0 +1,141 @@
+"""The micro-service frame.
+
+Figure 1: "the application logic of each micro-service lives within an
+enclave; the micro-service runtime exists outside of the enclave; these
+runtime functions only access encrypted data."
+
+A :class:`MicroService` subscribes to bus topics.  The *runtime*
+(outside) receives :class:`SealedEvent` objects and hands them, still
+sealed, into the enclave; the *logic* (an in-enclave handler) opens
+them with the topic key from enclave state, processes the plaintext,
+and returns sealed output events, which the runtime publishes.  At no
+point does plaintext exist outside the enclave.
+"""
+
+from repro.errors import ConfigurationError
+from repro.microservices.eventbus import SealedEvent
+from repro.sgx.enclave import EnclaveCode
+
+
+def _enclave_install_keys(ctx, topic_keys):
+    """ECALL (provisioning path): install per-topic AEAD keys."""
+    ctx.state["topic_keys"] = dict(topic_keys)
+    ctx.state["handled"] = 0
+    return True
+
+
+def _enclave_handle(ctx, handler, service_name, event, bus_sequences):
+    """ECALL: open a sealed event, run logic, seal the outputs.
+
+    ``bus_sequences`` is a callable the runtime provides to allocate
+    output sequence numbers; it sees only topic names.
+    """
+    keys = ctx.state.get("topic_keys")
+    if keys is None or event.topic not in keys:
+        raise ConfigurationError(
+            "service has no key for topic %r" % event.topic
+        )
+    plaintext = event.open(keys[event.topic])
+    ctx.state["handled"] += 1
+    outputs = handler(ctx, event.topic, plaintext)
+    sealed = []
+    for topic, payload in outputs or ():
+        key = keys.get(topic)
+        if key is None:
+            raise ConfigurationError(
+                "service has no key for output topic %r" % topic
+            )
+        sequence = ctx.ocall(bus_sequences, topic)
+        sealed.append(
+            SealedEvent.seal(key, topic, service_name, sequence, payload)
+        )
+    return sealed
+
+
+def _enclave_stats(ctx):
+    """ECALL: counters only, no payloads."""
+    return {"handled": ctx.state.get("handled", 0)}
+
+
+SERVICE_ENTRY_POINTS = {
+    "install_keys": _enclave_install_keys,
+    "handle": _enclave_handle,
+    "stats": _enclave_stats,
+}
+
+
+class MicroService:
+    """One service: enclave logic + untrusted runtime glue."""
+
+    def __init__(self, name, platform, bus, handlers, topic_keys,
+                 processing_time=0.001, enclave=None):
+        """``handlers`` maps input topic -> in-enclave handler function
+        ``handler(ctx, topic, plaintext) -> [(topic, payload), ...]``;
+        ``topic_keys`` maps every topic the service touches to its AEAD
+        key (in deployment these arrive via the SCF).
+
+        Pass ``enclave`` to wrap an already-booted enclave (e.g. one
+        started by the container engine after attestation) instead of
+        loading a fresh one.
+        """
+        self.name = name
+        self.platform = platform
+        self.bus = bus
+        self.handlers = dict(handlers)
+        self.processing_time = processing_time
+        if enclave is None:
+            self.code = EnclaveCode("svc-" + name, SERVICE_ENTRY_POINTS)
+            self.enclave = platform.load_enclave(self.code)
+        else:
+            self.code = enclave.code
+            self.enclave = enclave
+        self.enclave.ecall("install_keys", topic_keys)
+        self.healthy = True
+        self.slowdown = 1.0  # >1 simulates resource starvation
+        for topic in self.handlers:
+            bus.subscribe(topic, self._on_event)
+        self._observers = []
+
+    @property
+    def measurement(self):
+        """The service enclave's measurement."""
+        return self.enclave.measurement
+
+    def add_observer(self, observer):
+        """``observer(service, event, latency)`` after each handled event."""
+        self._observers.append(observer)
+
+    def _on_event(self, event):
+        """Runtime-side delivery: schedule in-enclave processing."""
+        if not self.healthy:
+            return  # crashed service: silently drops (heartbeat catches it)
+        env = self.bus.env
+        delay = self.processing_time * self.slowdown
+        done = env.timeout(delay, value=event)
+
+        def process(fired):
+            outputs = self.enclave.ecall(
+                "handle",
+                self.handlers[fired.value.topic],
+                self.name,
+                fired.value,
+                self.bus.next_sequence,
+            )
+            for sealed in outputs:
+                self.bus.publish(sealed)
+            for observer in self._observers:
+                observer(self, fired.value, delay)
+
+        done.callbacks.append(process)
+
+    def stats(self):
+        """In-enclave counters."""
+        return self.enclave.ecall("stats")
+
+    def crash(self):
+        """Simulate a failure (stops handling and heartbeating)."""
+        self.healthy = False
+
+    def recover(self):
+        """Bring the service back."""
+        self.healthy = True

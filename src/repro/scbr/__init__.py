@@ -1,0 +1,45 @@
+"""SCBR: secure content-based routing (paper Section V-B).
+
+Publications and subscriptions are encrypted and signed outside the
+enclave; the compute-intensive matching step runs inside an enclave on
+plaintext, over data structures that exploit containment relations
+between filters so fewer comparisons are needed per publication.
+
+- :mod:`~repro.scbr.filters` -- attribute constraints, subscriptions,
+  publications, and the containment (covering) relation.
+- :mod:`~repro.scbr.index` -- the containment-poset matching index
+  (reduced comparisons), with memory-cost accounting.
+- :mod:`~repro.scbr.naive` -- the linear-scan baseline matcher.
+- :mod:`~repro.scbr.workload` -- subscription/publication generators.
+- :mod:`~repro.scbr.messages` -- encrypted, signed envelopes.
+- :mod:`~repro.scbr.keyexchange` -- attested key establishment between
+  clients and the router enclave.
+- :mod:`~repro.scbr.router` -- the enclave-hosted router.
+"""
+
+from repro.scbr.compact import HotColdIndex
+from repro.scbr.filters import Constraint, Operator, Publication, Subscription
+from repro.scbr.index import ContainmentIndex
+from repro.scbr.naive import LinearIndex
+from repro.scbr.network import Broker, ScbrNetwork
+from repro.scbr.workload import ScbrWorkload
+from repro.scbr.messages import EncryptedEnvelope
+from repro.scbr.keyexchange import RouterKeyExchange
+from repro.scbr.router import ScbrClient, ScbrRouter
+
+__all__ = [
+    "Broker",
+    "Constraint",
+    "ContainmentIndex",
+    "EncryptedEnvelope",
+    "HotColdIndex",
+    "LinearIndex",
+    "Operator",
+    "Publication",
+    "RouterKeyExchange",
+    "ScbrClient",
+    "ScbrNetwork",
+    "ScbrRouter",
+    "ScbrWorkload",
+    "Subscription",
+]

@@ -1,0 +1,73 @@
+"""Attested key establishment with the router enclave.
+
+A Diffie-Hellman exchange in which the router's ephemeral public value
+is *bound into an SGX quote*: clients verify that (a) the quote chains
+to a registered platform, (b) the quoted measurement is the genuine
+SCBR router code, and (c) the quoted report data commits to the DH
+value they are keying against.  Only then do they derive the shared
+AEAD key used for their publications/subscriptions.
+
+A man-in-the-middle substituting its own DH value cannot produce a
+matching quote, so clients abort -- the property that lets SCBR route
+on plaintext inside the enclave while everything outside stays sealed.
+"""
+
+from repro.errors import AttestationError
+from repro.crypto.aead import AeadKey
+from repro.crypto.dh import DhKeyPair
+from repro.crypto.primitives import sha256
+
+
+def dh_commitment(public_value):
+    """The report-data commitment to a DH public value."""
+    width = (public_value.bit_length() + 7) // 8
+    return sha256(b"scbr-dh|" + public_value.to_bytes(width, "big"))
+
+
+class RouterKeyExchange:
+    """Client-side driver of the key-establishment protocol."""
+
+    def __init__(self, router, attestation_service):
+        self.router = router
+        self.attestation_service = attestation_service
+
+    def establish(self, client_id, expected_measurement=None,
+                  tamper_dh_value=None):
+        """Run the exchange; returns the client's AEAD key.
+
+        ``tamper_dh_value`` lets tests play the man in the middle by
+        substituting the DH value the client sees.
+        """
+        offer = self.router.channel_offer(client_id)
+        router_public = offer["dh_public"]
+        if tamper_dh_value is not None:
+            router_public = tamper_dh_value
+        # 1+2: quote chains to a registered platform & trusted code.
+        self.attestation_service.verify(
+            offer["quote"],
+            expected_measurement=expected_measurement,
+            expected_report_data=dh_commitment(router_public),
+        )
+        # 3: derive the shared key against the *attested* DH value.
+        client_dh = DhKeyPair.generate()
+        key = AeadKey(client_dh.shared_key(router_public, info=b"scbr-client"))
+        self.router.channel_accept(client_id, client_dh.public_value)
+        return key
+
+
+def enclave_channel_offer(ctx, client_id):
+    """ECALL: generate an ephemeral DH pair and report its commitment."""
+    dh = DhKeyPair.generate()
+    ctx.state.setdefault("pending_dh", {})[client_id] = dh
+    report = ctx.report(dh_commitment(dh.public_value))
+    return {"dh_public": dh.public_value, "report": report}
+
+
+def enclave_channel_accept(ctx, client_id, client_public):
+    """ECALL: finish the exchange and install the client key."""
+    pending = ctx.state.get("pending_dh", {}).pop(client_id, None)
+    if pending is None:
+        raise AttestationError("no pending key exchange for %r" % client_id)
+    key = AeadKey(pending.shared_key(client_public, info=b"scbr-client"))
+    ctx.state.setdefault("client_keys", {})[client_id] = key
+    return True

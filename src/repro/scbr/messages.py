@@ -1,0 +1,95 @@
+"""Encrypted, authenticated envelopes for publications and subscriptions.
+
+Outside the router enclave, both publications and subscriptions exist
+only as AEAD ciphertexts under a per-client key established through the
+attested key exchange.  The associated data binds the sender identity
+and message kind, so envelopes cannot be replayed as a different kind
+or attributed to a different client.
+"""
+
+import json
+
+from repro.errors import IntegrityError
+from repro.crypto.aead import Ciphertext
+from repro.scbr.filters import Constraint, Operator, Publication, Subscription
+
+
+def serialize_subscription(subscription):
+    """JSON bytes of a subscription (inside-enclave format)."""
+    return json.dumps(
+        {
+            "id": subscription.subscription_id,
+            "subscriber": subscription.subscriber,
+            "constraints": [
+                [c.attribute, c.operator.value, c.value]
+                for c in subscription.constraints.values()
+            ],
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+
+
+def deserialize_subscription(raw):
+    """Parse bytes produced by :func:`serialize_subscription`."""
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+        constraints = [
+            Constraint(attribute, Operator(op), value)
+            for attribute, op, value in payload["constraints"]
+        ]
+        return Subscription(payload["id"], constraints, payload["subscriber"])
+    except (KeyError, ValueError) as exc:
+        raise IntegrityError("malformed subscription: %s" % exc) from exc
+
+
+def serialize_publication(publication):
+    """JSON bytes of a publication."""
+    return json.dumps(
+        {
+            "attributes": publication.attributes,
+            "payload": publication.payload.hex(),
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+
+
+def deserialize_publication(raw):
+    """Parse bytes produced by :func:`serialize_publication`."""
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+        return Publication(
+            attributes=payload["attributes"],
+            payload=bytes.fromhex(payload["payload"]),
+        )
+    except (KeyError, ValueError) as exc:
+        raise IntegrityError("malformed publication: %s" % exc) from exc
+
+
+class EncryptedEnvelope:
+    """A sealed message travelling through the untrusted broker fabric."""
+
+    def __init__(self, sender, kind, blob):
+        self.sender = sender
+        self.kind = kind
+        self.blob = blob
+
+    @staticmethod
+    def _aad(sender, kind):
+        return ("scbr|%s|%s" % (sender, kind)).encode("utf-8")
+
+    @classmethod
+    def seal(cls, key, sender, kind, plaintext):
+        """Encrypt ``plaintext`` under the client key."""
+        blob = key.encrypt(plaintext, aad=cls._aad(sender, kind)).to_bytes()
+        return cls(sender, kind, blob)
+
+    def open(self, key):
+        """Decrypt (inside the enclave, or by the owning client)."""
+        try:
+            return key.decrypt(
+                Ciphertext.from_bytes(self.blob), aad=self._aad(self.sender, self.kind)
+            )
+        except IntegrityError as exc:
+            raise IntegrityError(
+                "envelope from %r (%s) failed authentication" % (self.sender, self.kind)
+            ) from exc

@@ -1,0 +1,69 @@
+"""The linear-scan baseline matcher.
+
+Evaluates every stored subscription against every publication -- the
+matcher SCBR's containment index is compared against in the A1
+ablation.  Shares the record layout and per-visit cost accounting with
+:class:`~repro.scbr.index.ContainmentIndex`, so measured differences
+come from the number of comparisons, not from accounting artifacts.
+"""
+
+from repro.scbr.index import DEFAULT_RECORD_BYTES, EVAL_CYCLES, HOT_BYTES
+
+
+class LinearIndex:
+    """Stores subscriptions in a flat, insertion-ordered table."""
+
+    def __init__(self, memory=None, record_bytes=DEFAULT_RECORD_BYTES,
+                 hot_bytes=HOT_BYTES, eval_cycles=EVAL_CYCLES):
+        self.memory = memory
+        self.record_bytes = record_bytes
+        self.hot_bytes = hot_bytes
+        self.eval_cycles = eval_cycles
+        self._entries = []
+        self.visits_last_match = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    @property
+    def database_bytes(self):
+        """Total resident footprint of the subscription database."""
+        return len(self._entries) * self.record_bytes
+
+    def insert(self, subscription):
+        """Append a subscription to the table."""
+        region = None
+        if self.memory is not None:
+            region = self.memory.allocate(
+                self.record_bytes,
+                label="sub-%s" % subscription.subscription_id,
+            )
+        self._entries.append((subscription, region))
+
+    def match(self, publication):
+        """IDs of all subscriptions matching ``publication``."""
+        matched = []
+        for subscription, region in self._entries:
+            if self.memory is not None:
+                self.memory.access(region, size=self.hot_bytes)
+                self.memory.compute(self.eval_cycles)
+            if subscription.matches(publication):
+                matched.append(subscription.subscription_id)
+        self.visits_last_match = len(self._entries)
+        return set(matched)
+
+    def subscriptions(self):
+        """All stored subscriptions in insertion order."""
+        return [subscription for subscription, _region in self._entries]
+
+    def remove(self, subscription_id):
+        """Unsubscribe by id (linear search, like everything here)."""
+        from repro.errors import ConfigurationError
+
+        for position, (subscription, _region) in enumerate(self._entries):
+            if subscription.subscription_id == subscription_id:
+                del self._entries[position]
+                return subscription
+        raise ConfigurationError(
+            "no subscription %r in the table" % subscription_id
+        )

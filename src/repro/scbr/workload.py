@@ -1,0 +1,141 @@
+"""Workload generation for SCBR experiments.
+
+Generates subscription databases and publication streams with the knobs
+the SCBR evaluation varies: number of attributes, constraints per
+subscription, attribute popularity skew (Zipf), and selectivity.  With
+``containment_fraction`` > 0 a fraction of subscriptions are generated
+as *specialisations* of earlier ones (their constraints tightened), so
+the containment index has real structure to exploit.
+"""
+
+from repro.scbr.filters import Constraint, Operator, Publication, Subscription
+from repro.sim.rng import RandomStream
+
+_RANGE_OPS = (Operator.LE, Operator.GE, Operator.LT, Operator.GT)
+
+
+class ScbrWorkload:
+    """Deterministic generator of subscriptions and publications."""
+
+    def __init__(self, seed=0, num_attributes=50, constraints_per_sub=(2, 4),
+                 value_range=(0.0, 1000.0), zipf_alpha=0.8,
+                 containment_fraction=0.3, eq_fraction=0.15,
+                 range_fraction=0.25):
+        self.rng = RandomStream(seed).child("scbr")
+        self.num_attributes = num_attributes
+        self.constraints_per_sub = constraints_per_sub
+        self.value_range = value_range
+        self.zipf_alpha = zipf_alpha
+        self.containment_fraction = containment_fraction
+        self.eq_fraction = eq_fraction
+        self.range_fraction = range_fraction
+        self._next_id = 0
+        self._history = []
+
+    def _attribute(self):
+        return "attr-%03d" % self.rng.zipf(self.num_attributes, self.zipf_alpha)
+
+    def _random_constraint(self, attribute):
+        low, high = self.value_range
+        draw = self.rng.random()
+        if draw < self.eq_fraction:
+            return Constraint(
+                attribute, Operator.EQ, round(self.rng.uniform(low, high), 3)
+            )
+        if draw < self.eq_fraction + self.range_fraction:
+            a = round(self.rng.uniform(low, high), 3)
+            b = round(self.rng.uniform(low, high), 3)
+            return Constraint.range_between(attribute, min(a, b), max(a, b))
+        value = round(self.rng.uniform(low, high), 3)
+        return Constraint(attribute, self.rng.choice(_RANGE_OPS), value)
+
+    def _fresh_subscription(self):
+        count = self.rng.randint(*self.constraints_per_sub)
+        constraints = {}
+        while len(constraints) < count:
+            attribute = self._attribute()
+            if attribute not in constraints:
+                constraints[attribute] = self._random_constraint(attribute)
+        return list(constraints.values())
+
+    def _specialise(self, parent):
+        """Tighten a parent's constraints so the child is covered by it."""
+        low, high = self.value_range
+        constraints = []
+        for constraint in parent.constraints.values():
+            if constraint.operator in (Operator.LE, Operator.LT):
+                tightened = Constraint(
+                    constraint.attribute,
+                    constraint.operator,
+                    round(self.rng.uniform(low, constraint.value), 3),
+                )
+            elif constraint.operator in (Operator.GE, Operator.GT):
+                tightened = Constraint(
+                    constraint.attribute,
+                    constraint.operator,
+                    round(self.rng.uniform(constraint.value, high), 3),
+                )
+            elif constraint.operator is Operator.RANGE:
+                parent_low, parent_high = constraint.value
+                a = round(self.rng.uniform(parent_low, parent_high), 3)
+                b = round(self.rng.uniform(parent_low, parent_high), 3)
+                tightened = Constraint.range_between(
+                    constraint.attribute, min(a, b), max(a, b)
+                )
+            else:
+                tightened = constraint
+            constraints.append(tightened)
+        return constraints
+
+    def subscription(self):
+        """Generate the next subscription."""
+        if self._history and self.rng.random() < self.containment_fraction:
+            parent = self.rng.choice(self._history)
+            constraints = self._specialise(parent)
+        else:
+            constraints = self._fresh_subscription()
+        subscription = Subscription(
+            "sub-%06d" % self._next_id,
+            constraints,
+            subscriber="client-%03d" % (self._next_id % 100),
+        )
+        self._next_id += 1
+        if len(self._history) < 512:
+            self._history.append(subscription)
+        return subscription
+
+    def subscriptions(self, count):
+        """Generate ``count`` subscriptions."""
+        return [self.subscription() for _ in range(count)]
+
+    def publication(self, payload=b""):
+        """Generate a publication valuing a random subset of attributes."""
+        low, high = self.value_range
+        count = min(self.rng.randint(3, 8), self.num_attributes)
+        attributes = {}
+        attempts = 0
+        while len(attributes) < count and attempts < 20 * count:
+            attributes[self._attribute()] = round(self.rng.uniform(low, high), 3)
+            attempts += 1
+        # Zipf skew can make the tail attributes rare; top up uniformly
+        # so the requested attribute count is always reached.
+        remaining = [
+            "attr-%03d" % i
+            for i in range(self.num_attributes)
+            if "attr-%03d" % i not in attributes
+        ]
+        while len(attributes) < count:
+            name = remaining.pop(self.rng.randint(0, len(remaining) - 1))
+            attributes[name] = round(self.rng.uniform(low, high), 3)
+        return Publication(attributes=attributes, payload=payload)
+
+    def publications(self, count):
+        """Generate ``count`` publications."""
+        return [self.publication() for _ in range(count)]
+
+    def fill_index(self, index, total_bytes):
+        """Insert subscriptions until the database reaches ``total_bytes``."""
+        target = max(1, total_bytes // index.record_bytes)
+        for _ in range(target - len(index)):
+            index.insert(self.subscription())
+        return index

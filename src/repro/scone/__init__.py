@@ -1,0 +1,58 @@
+"""SCONE: the Secure Linux Container Environment (simulated).
+
+Reproduces the runtime described in Section IV/V-A of the paper and in
+SCONE (OSDI'16):
+
+- :mod:`~repro.scone.fs_shield` -- transparent file encryption and
+  authentication; chunk MACs and keys live in the *FS protection file*.
+- :mod:`~repro.scone.stream_shield` -- encrypted, replay-protected
+  standard I/O streams.
+- :mod:`~repro.scone.syscalls` -- the shielded external system-call
+  interface: sanity checks, copy-in of memory-based results, and both
+  the synchronous (exit per call) and asynchronous (shared queue,
+  user-level threading) execution modes.
+- :mod:`~repro.scone.threads` -- the M:N user-level thread scheduler
+  that overlaps enclave compute with in-flight async syscalls.
+- :mod:`~repro.scone.scf` -- the startup configuration file: stream
+  keys, FS protection file hash and key, arguments, environment.
+- :mod:`~repro.scone.cas` -- the configuration and attestation service
+  that releases an SCF only to an attested enclave.
+- :mod:`~repro.scone.runtime` -- ties everything into a runnable SCONE
+  process.
+"""
+
+from repro.scone.cas import ConfigurationService
+from repro.scone.fs_shield import (
+    FileEntry,
+    FsProtectionFile,
+    ProtectedVolume,
+    UntrustedStore,
+)
+from repro.scone.scf import StartupConfiguration
+from repro.scone.stream_shield import ShieldedStreamReader, ShieldedStreamWriter
+from repro.scone.syscalls import (
+    AsyncSyscallExecutor,
+    SimulatedKernel,
+    SyncSyscallExecutor,
+    SyscallRequest,
+)
+from repro.scone.threads import UserThreadScheduler
+from repro.scone.runtime import SconeProcess, SconeRuntimeConfig
+
+__all__ = [
+    "AsyncSyscallExecutor",
+    "ConfigurationService",
+    "FileEntry",
+    "FsProtectionFile",
+    "ProtectedVolume",
+    "SconeProcess",
+    "SconeRuntimeConfig",
+    "ShieldedStreamReader",
+    "ShieldedStreamWriter",
+    "SimulatedKernel",
+    "StartupConfiguration",
+    "SyncSyscallExecutor",
+    "SyscallRequest",
+    "UntrustedStore",
+    "UserThreadScheduler",
+]

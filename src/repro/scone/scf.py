@@ -1,0 +1,80 @@
+"""The startup configuration file (SCF).
+
+Section V-A: *"The SCF contains keys to encrypt standard I/O streams,
+the hash and encryption key of the FS protection file, application
+arguments, as well as environment variables. Only an enclave whose
+identity has been verified can access the SCF, which is received
+through a TLS-protected connection established during enclave
+startup."*
+
+:class:`StartupConfiguration` is that object; delivery is implemented by
+:mod:`repro.scone.cas`.
+"""
+
+import json
+
+from repro.errors import IntegrityError
+from repro.crypto.aead import AeadKey
+
+
+class StartupConfiguration:
+    """Everything a secure container needs to boot."""
+
+    def __init__(self, stdin_key, stdout_key, stderr_key,
+                 fspf_key, fspf_hash, arguments=(), environment=None):
+        self.stdin_key = stdin_key
+        self.stdout_key = stdout_key
+        self.stderr_key = stderr_key
+        self.fspf_key = fspf_key
+        self.fspf_hash = bytes(fspf_hash)
+        self.arguments = tuple(arguments)
+        self.environment = dict(environment or {})
+
+    @classmethod
+    def create(cls, key_hierarchy, fspf_hash, arguments=(), environment=None):
+        """Derive all stream keys from an image-creator key hierarchy."""
+        return cls(
+            stdin_key=key_hierarchy.aead_key("stream", "stdin"),
+            stdout_key=key_hierarchy.aead_key("stream", "stdout"),
+            stderr_key=key_hierarchy.aead_key("stream", "stderr"),
+            fspf_key=key_hierarchy.aead_key("fspf"),
+            fspf_hash=fspf_hash,
+            arguments=arguments,
+            environment=environment,
+        )
+
+    def to_bytes(self):
+        """Serialise for transmission over the attested channel."""
+        payload = {
+            "stdin_key": self.stdin_key.key_bytes.hex(),
+            "stdout_key": self.stdout_key.key_bytes.hex(),
+            "stderr_key": self.stderr_key.key_bytes.hex(),
+            "fspf_key": self.fspf_key.key_bytes.hex(),
+            "fspf_hash": self.fspf_hash.hex(),
+            "arguments": list(self.arguments),
+            "environment": self.environment,
+        }
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, raw):
+        """Parse a serialised SCF."""
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+            return cls(
+                stdin_key=AeadKey(bytes.fromhex(payload["stdin_key"])),
+                stdout_key=AeadKey(bytes.fromhex(payload["stdout_key"])),
+                stderr_key=AeadKey(bytes.fromhex(payload["stderr_key"])),
+                fspf_key=AeadKey(bytes.fromhex(payload["fspf_key"])),
+                fspf_hash=bytes.fromhex(payload["fspf_hash"]),
+                arguments=payload["arguments"],
+                environment=payload["environment"],
+            )
+        except (KeyError, ValueError, UnicodeDecodeError) as exc:
+            raise IntegrityError("malformed SCF: %s" % exc) from exc
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, StartupConfiguration)
+            and self.to_bytes() == other.to_bytes()
+        )

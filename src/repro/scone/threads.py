@@ -1,0 +1,115 @@
+"""SCONE's M:N user-level threading.
+
+Application threads are scheduled *inside* the enclave by a cooperative
+scheduler, so a thread that issues an asynchronous system call yields to
+a runnable sibling instead of exiting the enclave.  The enclave thread
+only stalls when every user thread is blocked on an in-flight syscall.
+
+Threads are generators that yield:
+
+- :class:`~repro.scone.syscalls.SyscallRequest` -- the scheduler submits
+  it to the async executor and resumes the thread with the validated
+  result once it completes;
+- ``("compute", cycles)`` -- charge computation and stay runnable.
+
+The A2 ablation benchmark runs the same thread mix against the sync
+executor (each call pays two enclave transitions and full service time
+inline) and this scheduler, reproducing SCONE's async-syscall win.
+"""
+
+from collections import deque
+
+from repro.errors import ConfigurationError
+from repro.scone.syscalls import SyscallRequest
+
+SWITCH_CYCLES = 60  # user-level context switch: register save/restore
+
+
+class _UserThread:
+    def __init__(self, thread_id, generator):
+        self.thread_id = thread_id
+        self.generator = generator
+        self.pending = None
+        self.result = None
+        self.finished = False
+        self.value = None
+
+
+class UserThreadScheduler:
+    """Cooperative round-robin scheduler over async syscalls."""
+
+    def __init__(self, clock, async_executor, switch_cycles=SWITCH_CYCLES):
+        self.clock = clock
+        self.executor = async_executor
+        self.switch_cycles = switch_cycles
+        self._threads = []
+        self._next_id = 0
+        self.context_switches = 0
+
+    def spawn(self, generator):
+        """Register a user thread; returns its handle."""
+        if not hasattr(generator, "send"):
+            raise ConfigurationError("user threads must be generators")
+        thread = _UserThread(self._next_id, generator)
+        self._next_id += 1
+        self._threads.append(thread)
+        return thread
+
+    def _step(self, thread, send_value):
+        self.clock.charge(self.switch_cycles)
+        self.context_switches += 1
+        try:
+            yielded = thread.generator.send(send_value)
+        except StopIteration as stop:
+            thread.finished = True
+            thread.value = getattr(stop, "value", None)
+            return
+        if isinstance(yielded, SyscallRequest):
+            thread.pending = self.executor.submit(yielded.name, *yielded.args)
+        elif (
+            isinstance(yielded, tuple)
+            and len(yielded) == 2
+            and yielded[0] == "compute"
+        ):
+            self.clock.charge(yielded[1])
+        else:
+            raise ConfigurationError(
+                "user thread yielded %r; expected SyscallRequest or "
+                "('compute', cycles)" % (yielded,)
+            )
+
+    def run(self):
+        """Run until every thread finishes; returns their return values."""
+        ready = deque()
+        for thread in self._threads:
+            ready.append((thread, None))
+        blocked = []
+        while ready or blocked:
+            # Move completed syscalls back to the ready queue.
+            still_blocked = []
+            for thread in blocked:
+                result = self.executor.poll(thread.pending)
+                if thread.pending.done_at(self.clock.now):
+                    thread.pending = None
+                    ready.append((thread, result))
+                else:
+                    still_blocked.append(thread)
+            blocked = still_blocked
+
+            if not ready:
+                # Everything is waiting on the kernel: stall until the
+                # earliest completion.
+                earliest = min(thread.pending.completion_time for thread in blocked)
+                if earliest > self.clock.now:
+                    self.clock.charge(earliest - self.clock.now)
+                continue
+
+            thread, send_value = ready.popleft()
+            self._step(thread, send_value)
+            if thread.finished:
+                continue
+            if thread.pending is not None:
+                blocked.append(thread)
+            else:
+                ready.append((thread, None))
+        return [thread.value for thread in self._threads]

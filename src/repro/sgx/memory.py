@@ -1,0 +1,277 @@
+"""The simulated memory hierarchy: LLC, DRAM, and the EPC.
+
+Running the *same* algorithm against two :class:`SimulatedMemory`
+instances -- one native, one enclave-backed -- reproduces the paper's
+Figure 3.  The cost difference is not hand-tuned; it emerges from the
+mechanism:
+
+- every access touches last-level-cache blocks (LRU); a hit costs
+  ``llc_hit_cycles`` per line, a native miss costs ``dram_cycles``;
+- inside an enclave an LLC miss is served through the Memory Encryption
+  Engine (``mee_read_cycles``: decrypt + integrity + freshness check);
+- enclave pages live in the EPC (LRU, capacity ``epc_usable``); touching
+  a non-resident page costs ``page_fault_cycles`` (the OS evicts and
+  reloads an encrypted page) before the line access proceeds.
+
+Addresses are virtual byte offsets handed out by a bump allocator, so
+spatial locality (several records per page, several fields per line) is
+modelled faithfully.
+"""
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import CapacityError
+from repro.sgx.costs import DEFAULT_COSTS
+
+
+@dataclass
+class MemoryStats:
+    """Counters accumulated by a :class:`SimulatedMemory`."""
+
+    accesses: int = 0
+    llc_hits: int = 0
+    llc_misses: int = 0
+    page_faults: int = 0
+    cycles_memory: int = 0
+    cycles_compute: int = 0
+
+    def snapshot(self):
+        """An independent copy of the current counters."""
+        return MemoryStats(
+            accesses=self.accesses,
+            llc_hits=self.llc_hits,
+            llc_misses=self.llc_misses,
+            page_faults=self.page_faults,
+            cycles_memory=self.cycles_memory,
+            cycles_compute=self.cycles_compute,
+        )
+
+    def delta(self, earlier):
+        """Counters accumulated since the ``earlier`` snapshot."""
+        return MemoryStats(
+            accesses=self.accesses - earlier.accesses,
+            llc_hits=self.llc_hits - earlier.llc_hits,
+            llc_misses=self.llc_misses - earlier.llc_misses,
+            page_faults=self.page_faults - earlier.page_faults,
+            cycles_memory=self.cycles_memory - earlier.cycles_memory,
+            cycles_compute=self.cycles_compute - earlier.cycles_compute,
+        )
+
+
+class _LruSet:
+    """An LRU-evicting set of keys with fixed capacity."""
+
+    def __init__(self, capacity):
+        if capacity < 1:
+            raise CapacityError("LRU capacity must be >= 1")
+        self.capacity = capacity
+        self._entries = OrderedDict()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    def touch(self, key):
+        """Record an access; returns True on hit, False on miss.
+
+        On a miss the key is inserted, evicting the least recently used
+        entry if the set is full.
+        """
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+            return True
+        if len(entries) >= self.capacity:
+            entries.popitem(last=False)
+        entries[key] = None
+        return False
+
+    def discard(self, key):
+        """Remove ``key`` if present."""
+        self._entries.pop(key, None)
+
+    def clear(self):
+        """Drop all entries (e.g. on enclave teardown)."""
+        self._entries.clear()
+
+
+class LlcModel:
+    """Last-level cache tracked as an LRU over cache lines."""
+
+    def __init__(self, costs=DEFAULT_COSTS):
+        self.costs = costs
+        self._lines = _LruSet(max(1, costs.llc_capacity // costs.line_size))
+
+    def touch_line(self, line_id):
+        """Access one cache line; True if it hit."""
+        return self._lines.touch(line_id)
+
+    def flush(self):
+        """Empty the cache."""
+        self._lines.clear()
+
+
+class EpcModel:
+    """The Enclave Page Cache: an LRU over resident 4 KiB enclave pages.
+
+    Shared by all enclaves on a platform (as on real hardware).  The
+    usable capacity excludes the fraction reserved for SGX metadata, so
+    paging begins before an application working set reaches the nominal
+    128 MiB -- exactly the effect visible in the paper's Figure 3.
+    """
+
+    def __init__(self, costs=DEFAULT_COSTS):
+        self.costs = costs
+        self.capacity_pages = max(1, costs.epc_usable // costs.page_size)
+        self._pages = _LruSet(self.capacity_pages)
+        self.faults = 0
+        self.loads = 0
+
+    @property
+    def resident_pages(self):
+        """Number of pages currently resident."""
+        return len(self._pages)
+
+    def touch_page(self, page_id):
+        """Access one enclave page; returns True if it was resident.
+
+        A miss counts as an EPC page fault: the OS evicts the LRU page
+        (encrypting it out to untrusted memory) and loads this one.
+        """
+        hit = self._pages.touch(page_id)
+        self.loads += 1
+        if not hit:
+            self.faults += 1
+        return hit
+
+    def evict_all(self):
+        """Drop every resident page (platform reset)."""
+        self._pages.clear()
+        self.faults = 0
+        self.loads = 0
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """A contiguous allocation in a simulated address space."""
+
+    base: int
+    size: int
+    label: str = ""
+
+    def slice(self, offset, size):
+        """A sub-region; bounds-checked."""
+        if offset < 0 or size < 0 or offset + size > self.size:
+            raise CapacityError(
+                "slice [%d, %d) outside region of size %d"
+                % (offset, offset + size, self.size)
+            )
+        return MemoryRegion(self.base + offset, size, self.label)
+
+    @property
+    def end(self):
+        return self.base + self.size
+
+
+class SimulatedMemory:
+    """A byte-addressed memory charged in virtual cycles.
+
+    ``enclave=True`` routes LLC misses through the MEE and pages through
+    the (shared) EPC.  Allocation is a bump allocator: regions are laid
+    out contiguously in allocation order, which is how the SCBR engine
+    obtains its sequential subscription layout.
+    """
+
+    def __init__(self, clock, costs=DEFAULT_COSTS, enclave=False, epc=None,
+                 llc=None, name="mem"):
+        if enclave and epc is None:
+            raise CapacityError("enclave memory requires an EpcModel")
+        self.clock = clock
+        self.costs = costs
+        self.enclave = enclave
+        self.epc = epc
+        self.llc = llc if llc is not None else LlcModel(costs)
+        self.name = name
+        self.stats = MemoryStats()
+        self._next_address = 0
+
+    @property
+    def allocated_bytes(self):
+        """Total bytes handed out so far."""
+        return self._next_address
+
+    def allocate(self, size, label=""):
+        """Reserve ``size`` contiguous bytes and return the region."""
+        if size <= 0:
+            raise CapacityError("allocation size must be positive")
+        region = MemoryRegion(self._next_address, size, label)
+        self._next_address += size
+        return region
+
+    def allocate_aligned(self, size, label=""):
+        """Allocate starting at the next page boundary."""
+        page = self.costs.page_size
+        remainder = self._next_address % page
+        if remainder:
+            self._next_address += page - remainder
+        return self.allocate(size, label)
+
+    def compute(self, cycles):
+        """Charge pure computation (identical inside and outside)."""
+        self.stats.cycles_compute += cycles
+        self.clock.charge(cycles)
+
+    def access(self, region, offset=0, size=None, write=False):
+        """Touch ``size`` bytes of ``region`` starting at ``offset``.
+
+        Charges page faults (enclave only) plus per-line LLC costs and
+        updates :attr:`stats`.  Returns the cycles charged.
+        """
+        if size is None:
+            size = region.size - offset
+        if size <= 0:
+            return 0
+        if offset < 0 or offset + size > region.size:
+            raise CapacityError("access outside region bounds")
+        costs = self.costs
+        start = region.base + offset
+        end = start + size
+
+        charged = 0
+        if self.enclave:
+            first_page = start // costs.page_size
+            last_page = (end - 1) // costs.page_size
+            for page_id in range(first_page, last_page + 1):
+                if not self.epc.touch_page((self.name, page_id)):
+                    self.stats.page_faults += 1
+                    charged += costs.page_fault_cycles
+
+        first_line = start // costs.line_size
+        last_line = (end - 1) // costs.line_size
+        for line_id in range(first_line, last_line + 1):
+            self.stats.accesses += 1
+            if self.llc.touch_line((self.name, line_id)):
+                self.stats.llc_hits += 1
+                charged += costs.llc_hit_cycles
+            elif self.enclave:
+                self.stats.llc_misses += 1
+                charged += costs.mee_read_cycles
+            else:
+                self.stats.llc_misses += 1
+                charged += costs.dram_cycles
+        # Writes pay the same read-modify-write path in this model; the
+        # MEE encrypts on writeback, folded into mee_read_cycles.
+        self.stats.cycles_memory += charged
+        self.clock.charge(charged)
+        return charged
+
+    def copy(self, source, destination, size=None):
+        """Model a memcpy: read the source, write the destination."""
+        if size is None:
+            size = min(source.size, destination.size)
+        cycles = self.access(source, size=size)
+        cycles += self.access(destination, size=size, write=True)
+        return cycles

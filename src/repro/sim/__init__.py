@@ -1,0 +1,36 @@
+"""Deterministic discrete-event simulation substrate.
+
+All SecureCloud subsystems that need a notion of time run on this kernel:
+
+- :class:`~repro.sim.clock.CycleClock` -- a CPU-cycle counter used by the
+  SGX memory cost model (single-machine micro-architectural time).
+- :class:`~repro.sim.events.Environment` -- a discrete-event loop with
+  generator-based processes, used by cluster-level simulations (GenPack,
+  orchestration, event bus latency).
+- :mod:`~repro.sim.resources` -- counting resources and FIFO stores for
+  modelling contention.
+- :mod:`~repro.sim.rng` -- named, seeded random streams so every
+  experiment is reproducible bit-for-bit.
+"""
+
+from repro.sim.clock import CycleClock, cycles_to_seconds, seconds_to_cycles
+from repro.sim.events import AllOf, AnyOf, Environment, Event, Interrupt, Process, Timeout
+from repro.sim.resources import Resource, Store
+from repro.sim.rng import RandomStream, derive_seed
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "CycleClock",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "RandomStream",
+    "Resource",
+    "Store",
+    "Timeout",
+    "cycles_to_seconds",
+    "derive_seed",
+    "seconds_to_cycles",
+]

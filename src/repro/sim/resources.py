@@ -1,0 +1,124 @@
+"""Contention primitives for process-based simulations.
+
+- :class:`Resource` -- a counting semaphore with FIFO queueing; models
+  CPU slots, network links, worker pools.
+- :class:`Store` -- an unbounded (or bounded) FIFO of items; models
+  message queues and mailboxes.
+"""
+
+from collections import deque
+
+from repro.errors import CapacityError
+from repro.sim.events import Event
+
+
+class Resource:
+    """A counting resource with FIFO fairness.
+
+    Processes acquire a unit by yielding :meth:`request` and must return
+    it with :meth:`release`::
+
+        def job(env, cpu):
+            yield cpu.request()
+            try:
+                yield env.timeout(2.0)
+            finally:
+                cpu.release()
+    """
+
+    def __init__(self, env, capacity=1):
+        if capacity < 1:
+            raise CapacityError("resource capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters = deque()
+
+    @property
+    def in_use(self):
+        """Number of units currently held."""
+        return self._in_use
+
+    @property
+    def available(self):
+        """Number of units free right now."""
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self):
+        """Number of pending acquisition requests."""
+        return len(self._waiters)
+
+    def request(self):
+        """Return an event that fires when a unit is granted."""
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self):
+        """Return one unit, waking the longest-waiting requester."""
+        if self._in_use <= 0:
+            raise CapacityError("release() without a matching request()")
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.succeed(self)
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """FIFO store of items with blocking get and optional capacity.
+
+    ``put`` succeeds immediately while below capacity; ``get`` blocks the
+    calling process until an item is available.  Items are delivered in
+    insertion order, and waiting consumers are served FIFO.
+    """
+
+    def __init__(self, env, capacity=None):
+        if capacity is not None and capacity < 1:
+            raise CapacityError("store capacity must be >= 1 or None")
+        self.env = env
+        self.capacity = capacity
+        self._items = deque()
+        self._getters = deque()
+        self._putters = deque()
+
+    def __len__(self):
+        return len(self._items)
+
+    def put(self, item):
+        """Return an event that fires once ``item`` is stored."""
+        event = Event(self.env)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed(None)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed(None)
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self):
+        """Return an event that fires with the next item."""
+        event = Event(self.env)
+        if self._items:
+            item = self._items.popleft()
+            self._refill()
+            event.succeed(item)
+        else:
+            self._getters.append(event)
+        return event
+
+    def _refill(self):
+        while self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            putter, item = self._putters.popleft()
+            self._items.append(item)
+            putter.succeed(None)

@@ -1,0 +1,124 @@
+"""The distribution-grid topology.
+
+A tree rooted at the substation: substation -> feeders -> transformers
+-> meters.  Fault localisation and theft detection both reason over
+this hierarchy (theft compares transformer-level totals against the sum
+of child meters; faults are localised to the deepest element whose
+entire subtree went dark).
+"""
+
+import networkx as nx
+
+from repro.errors import ConfigurationError
+
+
+class GridTopology:
+    """A radial distribution network."""
+
+    def __init__(self, substation="substation"):
+        self.graph = nx.DiGraph()
+        self.substation = substation
+        self.graph.add_node(substation, kind="substation")
+
+    @classmethod
+    def build(cls, feeders=2, transformers_per_feeder=3, meters_per_transformer=8):
+        """A regular radial grid with deterministic names."""
+        topology = cls()
+        for feeder_index in range(feeders):
+            feeder = "feeder-%d" % feeder_index
+            topology.add_feeder(feeder)
+            for transformer_index in range(transformers_per_feeder):
+                transformer = "tx-%d-%d" % (feeder_index, transformer_index)
+                topology.add_transformer(transformer, feeder)
+                for meter_index in range(meters_per_transformer):
+                    meter = "meter-%d-%d-%02d" % (
+                        feeder_index, transformer_index, meter_index
+                    )
+                    topology.add_meter(meter, transformer)
+        return topology
+
+    def _add(self, name, parent, kind):
+        if name in self.graph:
+            raise ConfigurationError("duplicate grid element %r" % name)
+        if parent not in self.graph:
+            raise ConfigurationError("unknown parent %r" % parent)
+        self.graph.add_node(name, kind=kind)
+        self.graph.add_edge(parent, name)
+
+    def add_feeder(self, name):
+        """Attach a feeder to the substation."""
+        self._add(name, self.substation, "feeder")
+
+    def add_transformer(self, name, feeder):
+        """Attach a transformer to a feeder."""
+        if self.kind_of(feeder) != "feeder":
+            raise ConfigurationError("%r is not a feeder" % feeder)
+        self._add(name, feeder, "transformer")
+
+    def add_meter(self, name, transformer):
+        """Attach a meter to a transformer."""
+        if self.kind_of(transformer) != "transformer":
+            raise ConfigurationError("%r is not a transformer" % transformer)
+        self._add(name, transformer, "meter")
+
+    def kind_of(self, name):
+        """Element kind: substation/feeder/transformer/meter."""
+        try:
+            return self.graph.nodes[name]["kind"]
+        except KeyError:
+            raise ConfigurationError("unknown grid element %r" % name) from None
+
+    def elements(self, kind):
+        """All elements of one kind, sorted."""
+        return sorted(
+            node for node, data in self.graph.nodes(data=True)
+            if data["kind"] == kind
+        )
+
+    @property
+    def meters(self):
+        return self.elements("meter")
+
+    @property
+    def transformers(self):
+        return self.elements("transformer")
+
+    @property
+    def feeders(self):
+        return self.elements("feeder")
+
+    def parent_of(self, name):
+        """The upstream element."""
+        predecessors = list(self.graph.predecessors(name))
+        return predecessors[0] if predecessors else None
+
+    def meters_under(self, element):
+        """All meters in ``element``'s subtree."""
+        return sorted(
+            node
+            for node in nx.descendants(self.graph, element)
+            if self.graph.nodes[node]["kind"] == "meter"
+        )
+
+    def transformer_of(self, meter):
+        """The transformer feeding ``meter``."""
+        if self.kind_of(meter) != "meter":
+            raise ConfigurationError("%r is not a meter" % meter)
+        return self.parent_of(meter)
+
+    def path_to(self, element):
+        """The chain substation -> ... -> element."""
+        return nx.shortest_path(self.graph, self.substation, element)
+
+    def deepest_common_ancestor(self, elements):
+        """The lowest element whose subtree contains all ``elements``."""
+        if not elements:
+            raise ConfigurationError("need at least one element")
+        paths = [self.path_to(element) for element in elements]
+        ancestor = self.substation
+        for level in zip(*paths):
+            if len(set(level)) == 1:
+                ancestor = level[0]
+            else:
+                break
+        return ancestor

@@ -1,0 +1,78 @@
+"""Tests for map-side combining."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sgx.platform import SgxPlatform
+from repro.bigdata.mapreduce import (
+    MapReduceJob,
+    SecureMapReduce,
+    plain_mapreduce,
+)
+
+
+def word_count_map(record):
+    for word in record.split():
+        yield word, 1
+
+
+def sum_reduce(_key, values):
+    return sum(values)
+
+
+@pytest.fixture()
+def platform():
+    return SgxPlatform(seed=29, quoting_key_bits=512)
+
+
+class TestCombiner:
+    def test_results_unchanged(self, platform):
+        records = ["a b a b c", "a a a", "c c b"]
+        plain = plain_mapreduce(word_count_map, sum_reduce, records)
+        job = MapReduceJob(word_count_map, sum_reduce, mappers=2, reducers=2,
+                           combiner_fn=sum_reduce)
+        secure = SecureMapReduce(platform, job).run(records)
+        assert secure == {repr(k): v for k, v in plain.items()}
+
+    def test_combiner_reduces_sealed_bytes(self, platform):
+        records = ["alpha beta alpha beta " * 40] * 8
+        without = SecureMapReduce(
+            platform, MapReduceJob(word_count_map, sum_reduce, mappers=2,
+                                   reducers=2)
+        )
+        result_without = without.run(records)
+        with_combiner = SecureMapReduce(
+            platform, MapReduceJob(word_count_map, sum_reduce, mappers=2,
+                                   reducers=2, combiner_fn=sum_reduce)
+        )
+        result_with = with_combiner.run(records)
+        assert result_with == result_without
+        assert with_combiner.sealed_bytes_moved < without.sealed_bytes_moved / 5
+
+    def test_tuple_keys_survive_combining(self, platform):
+        def pair_map(record):
+            yield (record["g"], record["h"]), record["x"]
+
+        records = [
+            {"g": "a", "h": 1, "x": 2},
+            {"g": "a", "h": 1, "x": 3},
+            {"g": "b", "h": 2, "x": 4},
+        ]
+        job = MapReduceJob(pair_map, sum_reduce, mappers=2, reducers=2,
+                           combiner_fn=sum_reduce)
+        result = SecureMapReduce(platform, job).run(records)
+        assert result[repr(("a", 1))] == 5
+        assert result[repr(("b", 2))] == 4
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.lists(st.text(alphabet="xyz ", max_size=15), max_size=10),
+        st.integers(1, 3),
+    )
+    def test_combiner_equivalence_property(self, records, reducers):
+        platform = SgxPlatform(seed=31, quoting_key_bits=512)
+        plain = plain_mapreduce(word_count_map, sum_reduce, records)
+        job = MapReduceJob(word_count_map, sum_reduce, mappers=2,
+                           reducers=reducers, combiner_fn=sum_reduce)
+        secure = SecureMapReduce(platform, job).run(records)
+        assert secure == {repr(k): v for k, v in plain.items()}

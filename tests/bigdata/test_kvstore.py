@@ -1,0 +1,103 @@
+"""Tests for the secure structured store."""
+
+import pytest
+
+from repro.errors import ConfigurationError, IntegrityError
+from repro.scone.fs_shield import ProtectedVolume, UntrustedStore
+from repro.bigdata.kvstore import SecureTable
+
+
+@pytest.fixture()
+def volume():
+    return ProtectedVolume(UntrustedStore(), chunk_size=128)
+
+
+class TestSecureTable:
+    def test_put_get(self, volume):
+        table = SecureTable(volume, "meters")
+        table.put("meter-1", b"reading=230")
+        assert table.get("meter-1") == b"reading=230"
+
+    def test_overwrite(self, volume):
+        table = SecureTable(volume, "meters")
+        table.put("k", b"v1")
+        table.put("k", b"longer-value-2")
+        assert table.get("k") == b"longer-value-2"
+        assert len(table) == 1
+
+    def test_get_unknown(self, volume):
+        with pytest.raises(ConfigurationError):
+            SecureTable(volume, "t").get("ghost")
+
+    def test_delete(self, volume):
+        table = SecureTable(volume, "t")
+        table.put("k", b"v")
+        table.delete("k")
+        assert "k" not in table
+        with pytest.raises(ConfigurationError):
+            table.get("k")
+
+    def test_delete_idempotent(self, volume):
+        SecureTable(volume, "t").delete("never-existed")
+
+    def test_scan_prefix(self, volume):
+        table = SecureTable(volume, "t")
+        table.put("meter-1", b"a")
+        table.put("meter-2", b"b")
+        table.put("sensor-1", b"c")
+        scanned = table.scan("meter-")
+        assert [key for key, _v in scanned] == ["meter-1", "meter-2"]
+
+    def test_reopen_preserves_rows(self, volume):
+        table = SecureTable(volume, "t")
+        table.put("k1", b"v1")
+        table.put("k2", b"v2")
+        reopened = SecureTable.open(volume, "t")
+        assert reopened.keys() == ["k1", "k2"]
+        assert reopened.get("k1") == b"v1"
+
+    def test_values_encrypted_at_rest(self, volume):
+        table = SecureTable(volume, "t")
+        table.put("k", b"VERY-SECRET-READING" * 5)
+        for (path, index) in list(volume.store._chunks):
+            assert b"VERY-SECRET" not in volume.store.get(path, index)
+
+    def test_tampered_row_detected(self, volume):
+        table = SecureTable(volume, "t")
+        table.put("k", b"value" * 40)
+        volume.store.tamper("/tables/t/k", 0)
+        with pytest.raises(IntegrityError):
+            table.get("k")
+
+    def test_verify_all_rows(self, volume):
+        table = SecureTable(volume, "t")
+        table.put("a", b"1")
+        table.put("b", b"2")
+        assert table.verify()
+        volume.store.tamper("/tables/t/b", 0)
+        with pytest.raises(IntegrityError):
+            table.verify()
+
+    def test_rolled_back_row_detected(self, volume):
+        table = SecureTable(volume, "t")
+        table.put("k", b"version-1")
+        old = volume.store.snapshot_chunk("/tables/t/k", 0)
+        table.put("k", b"version-2")
+        volume.store.rollback("/tables/t/k", 0, old)
+        with pytest.raises(IntegrityError):
+            table.get("k")
+
+    def test_invalid_names_rejected(self, volume):
+        with pytest.raises(ConfigurationError):
+            SecureTable(volume, "bad/name")
+        table = SecureTable(volume, "t")
+        with pytest.raises(ConfigurationError):
+            table.put("bad/key", b"v")
+
+    def test_two_tables_independent(self, volume):
+        a = SecureTable(volume, "a")
+        b = SecureTable(volume, "b")
+        a.put("k", b"from-a")
+        b.put("k", b"from-b")
+        assert a.get("k") == b"from-a"
+        assert b.get("k") == b"from-b"

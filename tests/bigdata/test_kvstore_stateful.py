@@ -1,0 +1,66 @@
+"""Stateful property test: SecureTable against a plain dict."""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.scone.fs_shield import ProtectedVolume, UntrustedStore
+from repro.bigdata.kvstore import SecureTable
+
+KEYS = ["k1", "k2", "meter-7", "row.42"]
+
+
+class KvStoreMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.volume = ProtectedVolume(UntrustedStore(), chunk_size=64)
+        self.table = SecureTable(self.volume, "t")
+        self.reference = {}
+
+    @rule(key=st.sampled_from(KEYS), value=st.binary(max_size=200))
+    def put(self, key, value):
+        self.table.put(key, value)
+        self.reference[key] = value
+
+    @rule(key=st.sampled_from(KEYS))
+    def get(self, key):
+        if key in self.reference:
+            assert self.table.get(key) == self.reference[key]
+        else:
+            assert key not in self.table
+
+    @rule(key=st.sampled_from(KEYS))
+    def delete(self, key):
+        self.table.delete(key)
+        self.reference.pop(key, None)
+
+    @rule()
+    def reopen(self):
+        """A fresh handle over the same volume sees the same rows."""
+        reopened = SecureTable.open(self.volume, "t")
+        assert reopened.keys() == sorted(self.reference)
+        self.table = reopened
+
+    @rule(prefix=st.sampled_from(["", "k", "meter-"]))
+    def scan(self, prefix):
+        expected = sorted(
+            (key, value)
+            for key, value in self.reference.items()
+            if key.startswith(prefix)
+        )
+        assert self.table.scan(prefix) == expected
+
+    @invariant()
+    def lengths_agree(self):
+        assert len(self.table) == len(self.reference)
+
+
+TestKvStoreStateful = KvStoreMachine.TestCase
+TestKvStoreStateful.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None
+)

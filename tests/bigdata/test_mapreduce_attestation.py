@@ -1,0 +1,57 @@
+"""Tests for worker attestation in secure map/reduce."""
+
+import pytest
+
+from repro.errors import AttestationError
+from repro.sgx.attestation import AttestationService
+from repro.sgx.platform import SgxPlatform
+from repro.bigdata.mapreduce import MapReduceJob, SecureMapReduce, WORKER_CODE
+
+
+def word_count_map(record):
+    for word in record.split():
+        yield word, 1
+
+
+def sum_reduce(_key, values):
+    return sum(values)
+
+
+def registered_platform(seed=67):
+    platform = SgxPlatform(seed=seed, quoting_key_bits=512)
+    attestation = AttestationService()
+    attestation.register_platform(
+        platform.platform_id, platform.quoting_enclave.public_key
+    )
+    return platform, attestation
+
+
+class TestWorkerAttestation:
+    def test_attested_job_runs(self):
+        platform, attestation = registered_platform()
+        job = MapReduceJob(word_count_map, sum_reduce, mappers=2, reducers=1)
+        engine = SecureMapReduce(platform, job,
+                                 attestation_service=attestation)
+        assert engine.run(["a b a"]) == {"'a'": 2, "'b'": 1}
+
+    def test_unregistered_platform_rejected(self):
+        platform = SgxPlatform(seed=68, quoting_key_bits=512)
+        attestation = AttestationService()  # platform never registered
+        job = MapReduceJob(word_count_map, sum_reduce)
+        with pytest.raises(AttestationError):
+            SecureMapReduce(platform, job, attestation_service=attestation)
+
+    def test_expected_measurement_is_worker_code(self):
+        platform, attestation = registered_platform()
+        job = MapReduceJob(word_count_map, sum_reduce, mappers=1, reducers=1)
+        SecureMapReduce(platform, job, attestation_service=attestation)
+        # The allowlist path also works if the measurement is trusted.
+        attestation.trust_measurement(WORKER_CODE.measurement)
+        quote = platform.quote(platform.enclaves[-1], b"mapreduce-join")
+        assert attestation.verify(quote)
+
+    def test_without_service_no_attestation_performed(self):
+        platform = SgxPlatform(seed=69, quoting_key_bits=512)
+        job = MapReduceJob(word_count_map, sum_reduce, mappers=1, reducers=1)
+        engine = SecureMapReduce(platform, job)  # trusts its enclaves
+        assert engine.run(["x"]) == {"'x'": 1}

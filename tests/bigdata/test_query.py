@@ -1,0 +1,108 @@
+"""Tests for the secure record store query engine."""
+
+import pytest
+
+from repro.errors import ConfigurationError, IntegrityError
+from repro.scone.fs_shield import ProtectedVolume, UntrustedStore
+from repro.bigdata.query import SecureRecordStore
+
+
+@pytest.fixture()
+def store():
+    volume = ProtectedVolume(UntrustedStore(), chunk_size=128)
+    record_store = SecureRecordStore(volume, "readings")
+    rows = [
+        ("r1", {"meter": "m1", "w": 100.0, "zone": "north"}),
+        ("r2", {"meter": "m2", "w": 250.0, "zone": "north"}),
+        ("r3", {"meter": "m3", "w": 80.0, "zone": "south"}),
+        ("r4", {"meter": "m1", "w": 300.0, "zone": "south"}),
+        ("r5", {"meter": "m2", "w": 50.0, "zone": "north"}),
+    ]
+    for key, record in rows:
+        record_store.insert(key, record)
+    return record_store
+
+
+class TestCrud:
+    def test_insert_get(self, store):
+        assert store.get("r1")["w"] == 100.0
+
+    def test_non_dict_rejected(self, store):
+        with pytest.raises(ConfigurationError):
+            store.insert("bad", [1, 2, 3])
+
+    def test_delete(self, store):
+        store.delete("r1")
+        assert len(store) == 4
+
+    def test_records_encrypted_at_rest(self, store):
+        for (path, index) in list(store.table.volume.store._chunks):
+            blob = store.table.volume.store.get(path, index)
+            assert b"north" not in blob
+            assert b"meter" not in blob
+
+    def test_tamper_detected_on_query(self, store):
+        store.table.volume.store.tamper("/tables/readings/r2", 0)
+        with pytest.raises(IntegrityError):
+            store.query()
+
+
+class TestQuery:
+    def test_filter_conjunction(self, store):
+        rows = store.query(where=[("zone", "==", "north"), ("w", ">", 60.0)])
+        assert sorted(key for key, _r in rows) == ["r1", "r2"]
+
+    def test_all_operators(self, store):
+        assert len(store.query(where=[("w", "!=", 100.0)])) == 4
+        assert len(store.query(where=[("w", "<=", 80.0)])) == 2
+        assert len(store.query(where=[("w", ">=", 250.0)])) == 2
+        assert len(store.query(where=[("w", "<", 80.0)])) == 1
+
+    def test_unknown_operator_rejected(self, store):
+        with pytest.raises(ConfigurationError):
+            store.query(where=[("w", "~=", 1)])
+
+    def test_missing_column_excludes_row(self, store):
+        store.insert("r6", {"meter": "m9"})  # no "w"
+        rows = store.query(where=[("w", ">", 0.0)])
+        assert all(key != "r6" for key, _r in rows)
+
+    def test_projection(self, store):
+        rows = store.query(project=["meter"])
+        assert all(set(record) == {"meter"} for _k, record in rows)
+
+    def test_order_and_limit(self, store):
+        rows = store.query(order_by="w", descending=True, limit=2)
+        assert [record["w"] for _k, record in rows] == [300.0, 250.0]
+
+    def test_negative_limit_rejected(self, store):
+        with pytest.raises(ConfigurationError):
+            store.query(limit=-1)
+
+    def test_empty_result(self, store):
+        assert store.query(where=[("w", ">", 1e9)]) == []
+
+
+class TestAggregation:
+    def test_scalar_aggregates(self, store):
+        assert store.aggregate("w", "sum") == pytest.approx(780.0)
+        assert store.aggregate("w", "count") == 5
+        assert store.aggregate("w", "min") == 50.0
+        assert store.aggregate("w", "max") == 300.0
+        assert store.aggregate("w", "mean") == pytest.approx(156.0)
+
+    def test_grouped_aggregate(self, store):
+        by_zone = store.aggregate("w", "sum", group_by="zone")
+        assert by_zone == {"north": pytest.approx(400.0),
+                           "south": pytest.approx(380.0)}
+
+    def test_filtered_aggregate(self, store):
+        total = store.aggregate("w", "sum", where=[("meter", "==", "m2")])
+        assert total == pytest.approx(300.0)
+
+    def test_empty_aggregate_is_none(self, store):
+        assert store.aggregate("w", "sum", where=[("w", ">", 1e9)]) is None
+
+    def test_unknown_aggregate_rejected(self, store):
+        with pytest.raises(ConfigurationError):
+            store.aggregate("w", "median")

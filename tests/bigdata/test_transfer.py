@@ -1,0 +1,132 @@
+"""Tests for bulk data transfer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, IntegrityError
+from repro.crypto.aead import AeadKey
+from repro.bigdata.transfer import BulkTransfer, SimulatedNetwork
+
+
+def key():
+    return AeadKey(b"\x09" * 32)
+
+
+class TestRoundTrip:
+    def test_basic(self):
+        transfer = BulkTransfer(key(), chunk_size=1024)
+        payload = bytes(range(256)) * 40
+        frames, stats = transfer.send(payload, SimulatedNetwork())
+        assert transfer.receive(frames) == payload
+        assert stats.raw_bytes == len(payload)
+        assert stats.chunks == 10
+
+    def test_empty_payload(self):
+        transfer = BulkTransfer(key())
+        frames, _stats = transfer.send(b"", SimulatedNetwork())
+        assert transfer.receive(frames) == b""
+
+    @settings(max_examples=20)
+    @given(st.binary(min_size=0, max_size=5000), st.integers(1, 7))
+    def test_round_trip_property(self, payload, batch):
+        transfer = BulkTransfer(key(), chunk_size=512, batch_size=batch)
+        frames, _stats = transfer.send(payload, SimulatedNetwork())
+        assert transfer.receive(frames) == payload
+
+    def test_uncompressed_mode(self):
+        transfer = BulkTransfer(key(), compress=False, chunk_size=100)
+        payload = b"A" * 1000
+        frames, stats = transfer.send(payload, SimulatedNetwork())
+        assert transfer.receive(frames) == payload
+        assert stats.compressed_bytes == 1000
+
+
+class TestCompression:
+    def test_compressible_payload_shrinks(self):
+        transfer = BulkTransfer(key(), chunk_size=4096)
+        payload = b"repeated-pattern " * 2000
+        _frames, stats = transfer.send(payload, SimulatedNetwork())
+        assert stats.compression_ratio > 3.0
+        assert stats.wire_bytes < stats.raw_bytes
+
+    def test_incompressible_payload_overhead_bounded(self):
+        import os
+
+        transfer = BulkTransfer(key(), chunk_size=4096)
+        payload = os.urandom(40_000)
+        _frames, stats = transfer.send(payload, SimulatedNetwork())
+        assert stats.wire_bytes < stats.raw_bytes * 1.05
+
+
+class TestNetworkModel:
+    def test_time_charged_per_frame(self):
+        network = SimulatedNetwork(bandwidth_mbps=800, latency_seconds=0.001)
+        transfer = BulkTransfer(key(), chunk_size=1000, batch_size=1,
+                                compress=False)
+        _frames, stats = transfer.send(b"x" * 10_000, SimulatedNetwork())
+        _frames, stats_slow = transfer.send(b"x" * 10_000, network)
+        assert stats_slow.seconds > 0
+        assert network.frames_sent == 10
+
+    def test_batching_amortises_latency(self):
+        payload = b"y" * 100_000
+        unbatched_net = SimulatedNetwork(latency_seconds=0.005)
+        batched_net = SimulatedNetwork(latency_seconds=0.005)
+        BulkTransfer(key(), chunk_size=1000, batch_size=1).send(
+            payload, unbatched_net
+        )
+        BulkTransfer(key(), chunk_size=1000, batch_size=16).send(
+            payload, batched_net
+        )
+        assert batched_net.clock_seconds < unbatched_net.clock_seconds / 4
+
+    def test_throughput_reported(self):
+        _frames, stats = BulkTransfer(key()).send(
+            b"z" * 1_000_000, SimulatedNetwork(bandwidth_mbps=1000)
+        )
+        assert stats.throughput_mbps > 0
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedNetwork(bandwidth_mbps=0)
+
+    def test_invalid_chunking(self):
+        with pytest.raises(ConfigurationError):
+            BulkTransfer(key(), chunk_size=0)
+
+
+class TestTamperDetection:
+    def make_frames(self, payload=b"secret-data" * 500):
+        transfer = BulkTransfer(key(), chunk_size=512, batch_size=2)
+        frames, _stats = transfer.send(payload, SimulatedNetwork())
+        return transfer, frames
+
+    def test_bit_flip_detected(self):
+        transfer, frames = self.make_frames()
+        frames[1] = frames[1][:-1] + bytes([frames[1][-1] ^ 1])
+        with pytest.raises(IntegrityError):
+            transfer.receive(frames)
+
+    def test_dropped_frame_detected(self):
+        transfer, frames = self.make_frames()
+        with pytest.raises(IntegrityError):
+            transfer.receive(frames[:-1])
+
+    def test_reordered_frames_detected(self):
+        transfer, frames = self.make_frames()
+        frames[0], frames[1] = frames[1], frames[0]
+        with pytest.raises(IntegrityError):
+            transfer.receive(frames)
+
+    def test_cross_transfer_replay_detected(self):
+        transfer = BulkTransfer(key(), chunk_size=512)
+        frames_a, _ = transfer.send(b"a" * 2000, SimulatedNetwork(),
+                                    transfer_id=b"A")
+        with pytest.raises(IntegrityError):
+            transfer.receive(frames_a, transfer_id=b"B")
+
+    def test_payload_not_on_wire(self):
+        transfer = BulkTransfer(key(), chunk_size=512)
+        frames, _stats = transfer.send(b"CONFIDENTIAL" * 100,
+                                       SimulatedNetwork())
+        assert all(b"CONFIDENTIAL" not in frame for frame in frames)

@@ -1,0 +1,102 @@
+"""Tests for layers and images."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.containers.image import (
+    CHUNK_PREFIX,
+    FSPF_PATH,
+    Image,
+    ImageConfig,
+    Layer,
+    chunk_path,
+)
+
+
+class TestLayer:
+    def test_digest_deterministic(self):
+        assert Layer({"/a": b"1"}).digest == Layer({"/a": b"1"}).digest
+
+    def test_digest_content_sensitive(self):
+        assert Layer({"/a": b"1"}).digest != Layer({"/a": b"2"}).digest
+
+    def test_digest_path_sensitive(self):
+        assert Layer({"/a": b"1"}).digest != Layer({"/b": b"1"}).digest
+
+    def test_digest_unambiguous_concatenation(self):
+        assert Layer({"/a": b"bc"}).digest != Layer({"/ab": b"c"}).digest
+
+    def test_size(self):
+        assert Layer({"/a": b"12", "/b": b"345"}).size() == 5
+
+
+class TestImage:
+    def test_reference(self):
+        assert Image("app", "v1").reference == "app:v1"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Image("")
+
+    def test_flatten_later_layers_win(self):
+        image = Image(
+            "app",
+            layers=[Layer({"/a": b"base", "/b": b"keep"}), Layer({"/a": b"override"})],
+        )
+        assert image.flatten() == {"/a": b"override", "/b": b"keep"}
+
+    def test_add_layer_returns_new_image(self):
+        base = Image("app", layers=[Layer({"/a": b"1"})])
+        extended = base.add_layer({"/b": b"2"})
+        assert len(base.layers) == 1
+        assert len(extended.layers) == 2
+        assert extended.flatten()["/b"] == b"2"
+
+    def test_digest_changes_with_layers(self):
+        base = Image("app", layers=[Layer({"/a": b"1"})])
+        assert base.digest != base.add_layer({"/b": b"2"}).digest
+
+    def test_digest_changes_with_config(self):
+        layers = [Layer({"/a": b"1"})]
+        assert (
+            Image("app", layers=layers, config=ImageConfig(entrypoint="x")).digest
+            != Image("app", layers=layers, config=ImageConfig(entrypoint="y")).digest
+        )
+
+    def test_plain_image_not_secure(self):
+        assert not Image("app", layers=[Layer({"/a": b"1"})]).is_secure
+
+    def test_fspf_missing_raises(self):
+        with pytest.raises(ConfigurationError):
+            Image("app", layers=[Layer({"/a": b"1"})]).fspf_blob()
+
+    def test_protected_chunks_parsing(self):
+        image = Image(
+            "app",
+            layers=[
+                Layer(
+                    {
+                        chunk_path("/data/f.txt", 0): b"chunk0",
+                        chunk_path("/data/f.txt", 1): b"chunk1",
+                        "/plain.txt": b"plain",
+                    }
+                )
+            ],
+        )
+        chunks = image.protected_chunks()
+        assert chunks[("/data/f.txt", 0)] == b"chunk0"
+        assert chunks[("/data/f.txt", 1)] == b"chunk1"
+        assert len(chunks) == 2
+
+    def test_chunk_path_round_trip_with_hash_in_name(self):
+        path = chunk_path("/a#b/file", 3)
+        assert path.startswith(CHUNK_PREFIX)
+        image = Image("app", layers=[Layer({path: b"x"})])
+        assert ("/a#b/file", 3) in image.protected_chunks()
+
+    def test_size_sums_layers(self):
+        image = Image("app", layers=[Layer({"/a": b"12"}), Layer({"/b": b"3456"})])
+        assert image.size() == 6
+
+    def test_fspf_path_constant_is_reserved(self):
+        assert FSPF_PATH.startswith("/.scone/")

@@ -1,0 +1,56 @@
+"""Tests for application descriptors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.application import ApplicationSpec, ServiceSpec
+
+
+def handler(ctx, topic, plaintext):
+    return []
+
+
+def make_app():
+    ingest = ServiceSpec(
+        name="ingest",
+        handlers={"readings": handler},
+        output_topics=("cleaned",),
+    )
+    analyse = ServiceSpec(
+        name="analyse",
+        handlers={"cleaned": handler},
+        output_topics=("alerts",),
+        protected_files={"/model.bin": b"weights"},
+    )
+    return ApplicationSpec("grid-analytics", [ingest, analyse])
+
+
+class TestServiceSpec:
+    def test_topics_union(self):
+        spec = ServiceSpec("s", {"a": handler}, output_topics=("b", "a"))
+        assert spec.topics() == ["a", "b"]
+
+    def test_defaults(self):
+        spec = ServiceSpec("s", {"a": handler})
+        assert spec.protected_files == {}
+        assert spec.output_topics == ()
+
+
+class TestApplicationSpec:
+    def test_topics(self):
+        assert make_app().topics() == ["alerts", "cleaned", "readings"]
+
+    def test_external_inputs(self):
+        assert make_app().external_input_topics() == ["readings"]
+
+    def test_external_outputs(self):
+        assert make_app().external_output_topics() == ["alerts"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ApplicationSpec("empty", [])
+
+    def test_duplicate_names_rejected(self):
+        spec = ServiceSpec("s", {"a": handler})
+        with pytest.raises(ConfigurationError):
+            ApplicationSpec("app", [spec, spec])

@@ -1,0 +1,128 @@
+"""Tests for the end-to-end deployment pipeline."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.application import ApplicationSpec, ServiceSpec
+from repro.core.deployment import SecureCloudPlatform
+from repro.containers.engine import ContainerState
+
+
+def cleaner(ctx, topic, plaintext):
+    value = float(plaintext.decode())
+    if value < 0:
+        return []
+    return [("cleaned", plaintext)]
+
+
+def thresholder(ctx, topic, plaintext):
+    value = float(plaintext.decode())
+    if value > 100.0:
+        return [("alerts", b"high:" + plaintext)]
+    return []
+
+
+def make_app():
+    return ApplicationSpec(
+        "grid-analytics",
+        [
+            ServiceSpec("cleaner", {"readings": cleaner},
+                        output_topics=("cleaned",)),
+            ServiceSpec("thresholder", {"cleaned": thresholder},
+                        output_topics=("alerts",),
+                        protected_files={"/threshold.cfg": b"100.0"}),
+        ],
+    )
+
+
+@pytest.fixture()
+def platform():
+    return SecureCloudPlatform(hosts=2, seed=61)
+
+
+class TestDeploy:
+    def test_services_running_on_hosts(self, platform):
+        deployment = platform.deploy(make_app())
+        assert set(deployment.services) == {"cleaner", "thresholder"}
+        hosts_used = {
+            container.host.name for container in deployment.containers.values()
+        }
+        assert len(hosts_used) == 2  # round-robin over both hosts
+        for container in deployment.containers.values():
+            assert container.is_secure
+
+    def test_end_to_end_dataflow(self, platform):
+        deployment = platform.deploy(make_app())
+        alerts = deployment.collect("alerts")
+        deployment.ingest("readings", b"150.0")
+        deployment.ingest("readings", b"50.0")
+        deployment.ingest("readings", b"-3.0")
+        deployment.run()
+        assert alerts == [b"high:150.0"]
+        assert deployment.stats() == {"cleaner": 3, "thresholder": 2}
+
+    def test_bus_carries_only_ciphertext(self, platform):
+        deployment = platform.deploy(make_app())
+        observed = []
+        platform.bus.subscribe("readings", lambda e: observed.append(e.blob))
+        platform.bus.subscribe("alerts", lambda e: observed.append(e.blob))
+        deployment.ingest("readings", b"150.0")
+        deployment.run()
+        assert observed
+        for blob in observed:
+            assert b"150.0" not in blob
+
+    def test_images_signed_and_in_registry(self, platform):
+        platform.deploy(make_app())
+        references = platform.registry.references()
+        assert "grid-analytics/cleaner:latest" in references
+        assert "grid-analytics/thresholder:latest" in references
+        for reference in references:
+            assert platform.registry.signature_for(reference) is not None
+
+    def test_scfs_registered_with_cas(self, platform):
+        deployment = platform.deploy(make_app())
+        for service in deployment.services.values():
+            assert platform.cas.has_scf(service.measurement)
+
+    def test_topic_keys_arrive_via_scf(self, platform):
+        deployment = platform.deploy(make_app())
+        container = deployment.containers["cleaner"]
+        environment = container.process.env.environment
+        key_names = [
+            name for name in environment if name.startswith("SCONE_TOPIC_KEY_")
+        ]
+        assert sorted(key_names) == [
+            "SCONE_TOPIC_KEY_cleaned", "SCONE_TOPIC_KEY_readings",
+        ]
+
+    def test_ingest_unknown_topic_rejected(self, platform):
+        deployment = platform.deploy(make_app())
+        with pytest.raises(ConfigurationError):
+            deployment.ingest("bogus", b"x")
+
+    def test_collect_unknown_topic_rejected(self, platform):
+        deployment = platform.deploy(make_app())
+        with pytest.raises(ConfigurationError):
+            deployment.collect("bogus")
+
+    def test_orchestrator_attached(self, platform):
+        deployment = platform.deploy(make_app())
+        assert deployment.orchestrator is not None
+
+    def test_stop_exits_containers(self, platform):
+        deployment = platform.deploy(make_app())
+        deployment.stop()
+        for container in deployment.containers.values():
+            assert container.state is ContainerState.EXITED
+
+    def test_two_deployments_isolated_keys(self, platform):
+        first = platform.deploy(make_app())
+        second = platform.deploy(make_app())
+        assert (
+            first.topic_keys["readings"] != second.topic_keys["readings"]
+        )
+
+    def test_invalid_host_count(self):
+        with pytest.raises(ConfigurationError):
+            SecureCloudPlatform(hosts=0)

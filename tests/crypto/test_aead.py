@@ -1,0 +1,128 @@
+"""Tests and property tests for the AEAD construction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IntegrityError
+from repro.crypto.aead import AeadKey, Ciphertext, KEY_SIZE, NONCE_SIZE, TAG_SIZE
+from repro.crypto.primitives import DeterministicRandomSource
+
+
+def deterministic_key(seed=0):
+    source = DeterministicRandomSource(seed)
+    return AeadKey(source.bytes(KEY_SIZE), random_source=source)
+
+
+class TestRoundTrip:
+    def test_basic(self):
+        key = deterministic_key()
+        ct = key.encrypt(b"hello world", aad=b"hdr")
+        assert key.decrypt(ct, aad=b"hdr") == b"hello world"
+
+    def test_empty_plaintext(self):
+        key = deterministic_key()
+        assert key.decrypt(key.encrypt(b"")) == b""
+
+    def test_large_plaintext(self):
+        key = deterministic_key()
+        data = bytes(range(256)) * 512
+        assert key.decrypt(key.encrypt(data)) == data
+
+    @given(st.binary(max_size=2048), st.binary(max_size=64))
+    def test_round_trip_property(self, plaintext, aad):
+        key = deterministic_key()
+        assert key.decrypt(key.encrypt(plaintext, aad=aad), aad=aad) == plaintext
+
+
+class TestTamperDetection:
+    def test_flipped_body_bit(self):
+        key = deterministic_key()
+        ct = key.encrypt(b"payload")
+        evil = Ciphertext(ct.nonce, bytes([ct.body[0] ^ 1]) + ct.body[1:], ct.tag)
+        with pytest.raises(IntegrityError):
+            key.decrypt(evil)
+
+    def test_flipped_tag_bit(self):
+        key = deterministic_key()
+        ct = key.encrypt(b"payload")
+        evil = Ciphertext(ct.nonce, ct.body, bytes([ct.tag[0] ^ 1]) + ct.tag[1:])
+        with pytest.raises(IntegrityError):
+            key.decrypt(evil)
+
+    def test_flipped_nonce(self):
+        key = deterministic_key()
+        ct = key.encrypt(b"payload")
+        evil = Ciphertext(bytes(NONCE_SIZE), ct.body, ct.tag)
+        with pytest.raises(IntegrityError):
+            key.decrypt(evil)
+
+    def test_wrong_aad(self):
+        key = deterministic_key()
+        ct = key.encrypt(b"payload", aad=b"right")
+        with pytest.raises(IntegrityError):
+            key.decrypt(ct, aad=b"wrong")
+
+    def test_wrong_key(self):
+        ct = deterministic_key(1).encrypt(b"payload")
+        with pytest.raises(IntegrityError):
+            deterministic_key(2).decrypt(ct)
+
+    @given(
+        st.binary(min_size=1, max_size=256),
+        st.integers(min_value=0),
+    )
+    def test_any_body_bitflip_detected(self, plaintext, position):
+        key = deterministic_key()
+        ct = key.encrypt(plaintext)
+        raw = bytearray(ct.to_bytes())
+        raw[position % len(raw)] ^= 0x01
+        with pytest.raises(IntegrityError):
+            key.decrypt(Ciphertext.from_bytes(bytes(raw)))
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        key = deterministic_key()
+        ct = key.encrypt(b"abc")
+        parsed = Ciphertext.from_bytes(ct.to_bytes())
+        assert parsed == ct
+        assert key.decrypt(parsed) == b"abc"
+
+    def test_length(self):
+        key = deterministic_key()
+        ct = key.encrypt(b"abc")
+        assert len(ct) == NONCE_SIZE + TAG_SIZE + 3
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(IntegrityError):
+            Ciphertext.from_bytes(b"short")
+
+
+class TestKeyManagement:
+    def test_generate_produces_working_key(self):
+        key = AeadKey.generate()
+        assert key.decrypt(key.encrypt(b"x")) == b"x"
+
+    def test_bad_key_size(self):
+        with pytest.raises(ValueError):
+            AeadKey(b"short")
+
+    def test_bad_nonce_size(self):
+        with pytest.raises(ValueError):
+            deterministic_key().encrypt(b"x", nonce=b"tiny")
+
+    def test_equality_and_hash(self):
+        material = DeterministicRandomSource(0).bytes(KEY_SIZE)
+        assert AeadKey(material) == AeadKey(material)
+        assert hash(AeadKey(material)) == hash(AeadKey(material))
+        assert AeadKey(material) != AeadKey(bytes(KEY_SIZE))
+
+    def test_fingerprint_stable_and_safe(self):
+        material = DeterministicRandomSource(0).bytes(KEY_SIZE)
+        fp = AeadKey(material).fingerprint()
+        assert fp == AeadKey(material).fingerprint()
+        assert len(fp) == 16  # 8 bytes hex
+
+    def test_fresh_nonces_give_distinct_ciphertexts(self):
+        key = AeadKey.generate()
+        assert key.encrypt(b"same").to_bytes() != key.encrypt(b"same").to_bytes()

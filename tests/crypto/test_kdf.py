@@ -1,0 +1,41 @@
+"""Tests for HKDF."""
+
+import pytest
+
+from repro.crypto.kdf import hkdf, hkdf_expand, hkdf_extract
+
+
+class TestHkdf:
+    def test_rfc5869_test_case_1(self):
+        # RFC 5869 Appendix A.1 (SHA-256).
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk.hex() == (
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = hkdf_expand(prk, info, 42)
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_deterministic(self):
+        assert hkdf(b"secret", b"ctx") == hkdf(b"secret", b"ctx")
+
+    def test_info_separation(self):
+        assert hkdf(b"secret", b"a") != hkdf(b"secret", b"b")
+
+    def test_salt_separation(self):
+        assert hkdf(b"secret", b"i", salt=b"s1") != hkdf(b"secret", b"i", salt=b"s2")
+
+    def test_length_control(self):
+        assert len(hkdf(b"x", b"y", length=100)) == 100
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            hkdf_expand(b"\x00" * 32, b"", 255 * 32 + 1)
+
+    def test_empty_salt_defaults_to_zeros(self):
+        assert hkdf_extract(b"", b"ikm") == hkdf_extract(b"\x00" * 32, b"ikm")

@@ -1,0 +1,45 @@
+"""Tests for the key hierarchy."""
+
+import pytest
+
+from repro.crypto.keys import KeyHierarchy
+from repro.crypto.primitives import DeterministicRandomSource
+
+
+class TestKeyHierarchy:
+    def test_deterministic_derivation(self):
+        root = KeyHierarchy(b"0123456789abcdef0123456789abcdef")
+        assert root.aead_key("fs", "vol0") == root.aead_key("fs", "vol0")
+
+    def test_label_separation(self):
+        root = KeyHierarchy(b"0123456789abcdef0123456789abcdef")
+        assert root.aead_key("fs") != root.aead_key("stdio")
+
+    def test_label_path_unambiguous(self):
+        root = KeyHierarchy(b"0123456789abcdef0123456789abcdef")
+        assert root.derive_bytes("ab", "c") != root.derive_bytes("a", "bc")
+
+    def test_short_root_rejected(self):
+        with pytest.raises(ValueError):
+            KeyHierarchy(b"short")
+
+    def test_generate(self):
+        root = KeyHierarchy.generate(DeterministicRandomSource(0))
+        key = root.aead_key("x")
+        assert key.decrypt(key.encrypt(b"data")) == b"data"
+
+    def test_subhierarchy_independent(self):
+        root = KeyHierarchy(b"0123456789abcdef0123456789abcdef")
+        child = root.subhierarchy("tenant-1")
+        assert child.aead_key("fs") != root.aead_key("fs")
+
+    def test_subhierarchy_deterministic(self):
+        root = KeyHierarchy(b"0123456789abcdef0123456789abcdef")
+        assert (
+            root.subhierarchy("t").aead_key("fs")
+            == root.subhierarchy("t").aead_key("fs")
+        )
+
+    def test_derive_bytes_length(self):
+        root = KeyHierarchy(b"0123456789abcdef0123456789abcdef")
+        assert len(root.derive_bytes("x", length=48)) == 48

@@ -1,0 +1,83 @@
+"""Tests for hash/MAC/keystream primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.primitives import (
+    DeterministicRandomSource,
+    SystemRandomSource,
+    constant_time_equal,
+    hmac_sha256,
+    keystream,
+    sha256,
+    sha256_hex,
+    xor_bytes,
+)
+
+
+class TestHashes:
+    def test_sha256_known_vector(self):
+        assert sha256_hex(b"") == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_sha256_length(self):
+        assert len(sha256(b"data")) == 32
+
+    def test_hmac_differs_by_key(self):
+        assert hmac_sha256(b"k1", b"m") != hmac_sha256(b"k2", b"m")
+
+    def test_constant_time_equal(self):
+        assert constant_time_equal(b"abc", b"abc")
+        assert not constant_time_equal(b"abc", b"abd")
+
+
+class TestKeystream:
+    def test_deterministic(self):
+        assert keystream(b"k", b"n", 100) == keystream(b"k", b"n", 100)
+
+    def test_nonce_sensitivity(self):
+        assert keystream(b"k", b"n1", 64) != keystream(b"k", b"n2", 64)
+
+    def test_prefix_property(self):
+        long = keystream(b"k", b"n", 100)
+        short = keystream(b"k", b"n", 40)
+        assert long[:40] == short
+
+    def test_zero_length(self):
+        assert keystream(b"k", b"n", 0) == b""
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            keystream(b"k", b"n", -1)
+
+    @given(st.binary(max_size=256))
+    def test_xor_involution(self, data):
+        stream = keystream(b"key", b"nonce", len(data))
+        assert xor_bytes(xor_bytes(data, stream), stream) == data
+
+    def test_xor_length_mismatch(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"ab", b"a")
+
+
+class TestRandomSources:
+    def test_system_source_lengths(self):
+        source = SystemRandomSource()
+        assert len(source.bytes(16)) == 16
+        assert source.randbits(12) < 2**12
+
+    def test_deterministic_source_reproducible(self):
+        assert (
+            DeterministicRandomSource(5).bytes(32)
+            == DeterministicRandomSource(5).bytes(32)
+        )
+
+    def test_deterministic_source_seed_matters(self):
+        assert (
+            DeterministicRandomSource(1).bytes(32)
+            != DeterministicRandomSource(2).bytes(32)
+        )
+
+    def test_deterministic_zero_bytes(self):
+        assert DeterministicRandomSource(1).bytes(0) == b""

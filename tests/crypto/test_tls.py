@@ -1,0 +1,93 @@
+"""Tests for the TLS-like secure channel."""
+
+import pytest
+
+from repro.errors import AttestationError, IntegrityError
+from repro.crypto.primitives import DeterministicRandomSource
+from repro.crypto.rsa import RsaKeyPair
+from repro.crypto.tls import establish_channel
+
+
+@pytest.fixture(scope="module")
+def identities():
+    client = RsaKeyPair.generate(bits=512, random_source=DeterministicRandomSource(1))
+    server = RsaKeyPair.generate(bits=512, random_source=DeterministicRandomSource(2))
+    return client, server
+
+
+def make_channels(identities, **kwargs):
+    client, server = identities
+    kwargs.setdefault("client_random_source", DeterministicRandomSource(10))
+    kwargs.setdefault("server_random_source", DeterministicRandomSource(11))
+    return establish_channel(client, server, **kwargs)
+
+
+class TestHandshake:
+    def test_establishes_working_pair(self, identities):
+        client_chan, server_chan = make_channels(identities)
+        record = client_chan.seal(b"hello server")
+        assert server_chan.open(record) == b"hello server"
+        reply = server_chan.seal(b"hello client")
+        assert client_chan.open(reply) == b"hello client"
+
+    def test_peer_fingerprints(self, identities):
+        client, server = identities
+        client_chan, server_chan = make_channels(identities)
+        assert client_chan.peer_fingerprint == server.public_key.fingerprint()
+        assert server_chan.peer_fingerprint == client.public_key.fingerprint()
+
+    def test_attestation_payload_delivered(self, identities):
+        seen = []
+        make_channels(
+            identities,
+            server_attestation_payload=b"quote-bytes",
+            verify_server_payload=seen.append,
+        )
+        assert seen == [b"quote-bytes"]
+
+    def test_attestation_rejection_aborts(self, identities):
+        def reject(payload):
+            raise AttestationError("untrusted enclave")
+
+        with pytest.raises(AttestationError):
+            make_channels(identities, verify_server_payload=reject)
+
+
+class TestRecordLayer:
+    def test_tampered_record_rejected(self, identities):
+        client_chan, server_chan = make_channels(identities)
+        record = bytearray(client_chan.seal(b"secret"))
+        record[-1] ^= 0x01
+        with pytest.raises(IntegrityError):
+            server_chan.open(bytes(record))
+
+    def test_replay_rejected(self, identities):
+        client_chan, server_chan = make_channels(identities)
+        record = client_chan.seal(b"once")
+        assert server_chan.open(record) == b"once"
+        with pytest.raises(IntegrityError):
+            server_chan.open(record)
+
+    def test_reorder_rejected(self, identities):
+        client_chan, server_chan = make_channels(identities)
+        first = client_chan.seal(b"first")
+        second = client_chan.seal(b"second")
+        with pytest.raises(IntegrityError):
+            server_chan.open(second)
+        assert server_chan.open(first) == b"first"
+
+    def test_record_type_binding(self, identities):
+        client_chan, server_chan = make_channels(identities)
+        record = client_chan.seal(b"config", record_type=b"scf")
+        with pytest.raises(IntegrityError):
+            server_chan.open(record, record_type=b"data")
+
+    def test_directional_keys_differ(self, identities):
+        client_chan, _server_chan = make_channels(identities)
+        assert client_chan.send_key != client_chan.receive_key
+
+    def test_long_conversation(self, identities):
+        client_chan, server_chan = make_channels(identities)
+        for i in range(50):
+            message = ("msg-%d" % i).encode()
+            assert server_chan.open(client_chan.seal(message)) == message

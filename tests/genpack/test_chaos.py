@@ -1,0 +1,67 @@
+"""Chaos property test: random crash schedules never break invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.genpack.baselines import FirstFitScheduler
+from repro.genpack.cluster import Cluster
+from repro.genpack.monitor import ResourceMonitor
+from repro.genpack.scheduler import GenPackScheduler
+from repro.genpack.simulation import ClusterSimulation
+from repro.genpack.workload import ContainerWorkload
+
+HOUR = 3600.0
+
+
+def crash_schedule(draw_times, server_count):
+    return [
+        (time, "srv-%03d" % (index % server_count))
+        for index, time in enumerate(sorted(draw_times))
+    ]
+
+
+class TestChaos:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(0, 2**16),
+        st.lists(
+            st.floats(min_value=600.0, max_value=3.5 * HOUR,
+                      allow_nan=False),
+            max_size=5,
+        ),
+    )
+    def test_genpack_survives_random_crashes(self, seed, crash_times):
+        workload = ContainerWorkload(seed=seed, duration=4 * HOUR,
+                                     arrival_rate_per_hour=25)
+        cluster = Cluster.homogeneous(16)
+        monitor = ResourceMonitor(workload)
+        scheduler = GenPackScheduler(cluster, monitor)
+        result = ClusterSimulation(
+            cluster, scheduler, workload, monitor=monitor,
+            failures=crash_schedule(crash_times, 16),
+        ).run(check_invariants_every=20)
+        cluster.check_invariants()
+        # Energy accounting stays sane whatever the crash schedule.
+        assert result.energy_kwh > 0
+        assert result.completed + result.stranded + result.rejected >= 0
+        # No container sits on a failed server.
+        for server in cluster.servers:
+            if server.failed:
+                assert server.is_empty
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 2**16), st.integers(0, 10))
+    def test_first_fit_survives_random_crashes(self, seed, crash_count):
+        workload = ContainerWorkload(seed=seed, duration=3 * HOUR,
+                                     arrival_rate_per_hour=20)
+        crashes = [
+            (600.0 + 900.0 * index, "srv-%03d" % (index % 12))
+            for index in range(crash_count)
+        ]
+        cluster = Cluster.homogeneous(12)
+        scheduler = FirstFitScheduler(cluster)
+        ClusterSimulation(
+            cluster, scheduler, workload,
+            monitor=ResourceMonitor(workload), failures=crashes,
+        ).run(check_invariants_every=20)
+        cluster.check_invariants()
+        assert len([s for s in cluster.servers if s.failed]) <= crash_count

@@ -1,0 +1,127 @@
+"""Tests for servers and cluster invariants."""
+
+import pytest
+
+from repro.errors import CapacityError, SchedulingError
+from repro.genpack.cluster import Cluster, Server
+from repro.genpack.workload import ContainerSpec, RunningContainer
+
+
+def spec(container_id="c1", cpu=2.0, mem=4.0, usage=1.0):
+    return ContainerSpec(
+        container_id=container_id,
+        arrival=0.0,
+        lifetime=100.0,
+        cpu_request=cpu,
+        mem_request=mem,
+        cpu_usage_mean=usage,
+        workload_class="batch",
+    )
+
+
+def running(container_id="c1", cpu=2.0, mem=4.0, usage=1.0, samples=()):
+    container = RunningContainer(spec=spec(container_id, cpu, mem, usage))
+    container.usage_samples = list(samples)
+    return container
+
+
+class TestServer:
+    def test_place_and_evict(self):
+        server = Server("s1")
+        container = running()
+        server.place(container)
+        assert container.server is server
+        assert server.cpu_requested == 2.0
+        server.evict(container)
+        assert server.is_empty
+
+    def test_double_place_rejected(self):
+        server = Server("s1")
+        container = running()
+        server.place(container)
+        with pytest.raises(SchedulingError):
+            server.place(container)
+
+    def test_evict_absent_rejected(self):
+        with pytest.raises(SchedulingError):
+            Server("s1").evict(running())
+
+    def test_fits_requests(self):
+        server = Server("s1", cpu_capacity=4.0, mem_capacity=8.0)
+        server.place(running("a", cpu=3.0, mem=4.0))
+        assert server.fits_requests(spec("b", cpu=1.0, mem=4.0))
+        assert not server.fits_requests(spec("c", cpu=2.0, mem=1.0))
+        assert not server.fits_requests(spec("d", cpu=1.0, mem=5.0))
+
+    def test_observed_usage_defaults_to_request(self):
+        container = running("a", cpu=4.0, usage=1.0)
+        assert container.observed_cpu == 4.0  # unprofiled: assume request
+
+    def test_observed_usage_from_samples(self):
+        container = running("a", cpu=4.0, samples=[1.0, 1.2, 0.8])
+        assert container.observed_cpu == pytest.approx(1.0)
+
+    def test_utilization(self):
+        server = Server("s1", cpu_capacity=10.0)
+        server.place(running("a", cpu=8.0, samples=[4.0]))
+        assert server.utilization == pytest.approx(0.4)
+
+    def test_power_off_requires_empty(self):
+        server = Server("s1")
+        server.place(running())
+        with pytest.raises(SchedulingError):
+            server.power_off()
+
+    def test_place_on_powered_off_rejected(self):
+        server = Server("s1")
+        server.power_off()
+        with pytest.raises(SchedulingError):
+            server.place(running())
+
+    def test_powered_off_not_fitting(self):
+        server = Server("s1")
+        server.power_off()
+        assert not server.fits_requests(spec())
+
+
+class TestCluster:
+    def test_homogeneous_factory(self):
+        cluster = Cluster.homogeneous(5, cpu_capacity=8.0)
+        assert len(cluster) == 5
+        assert cluster.total_cpu_capacity == 40.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(CapacityError):
+            Cluster([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CapacityError):
+            Cluster([Server("x"), Server("x")])
+
+    def test_powered_lists(self):
+        cluster = Cluster.homogeneous(3)
+        cluster.servers[1].power_off()
+        assert len(cluster.powered_on) == 2
+        assert len(cluster.powered_off) == 1
+
+    def test_invariant_detects_double_placement(self):
+        cluster = Cluster.homogeneous(2)
+        container = running()
+        cluster.servers[0].place(container)
+        # Violate deliberately, bypassing the API.
+        cluster.servers[1].containers[container.spec.container_id] = container
+        with pytest.raises(SchedulingError):
+            cluster.check_invariants()
+
+    def test_invariant_passes_clean_cluster(self):
+        cluster = Cluster.homogeneous(2)
+        cluster.servers[0].place(running("a"))
+        cluster.servers[1].place(running("b"))
+        assert cluster.check_invariants()
+
+    def test_running_containers(self):
+        cluster = Cluster.homogeneous(2)
+        cluster.servers[0].place(running("a"))
+        cluster.servers[1].place(running("b"))
+        ids = {c.spec.container_id for c in cluster.running_containers()}
+        assert ids == {"a", "b"}

@@ -1,0 +1,95 @@
+"""Tests for the power model and energy meter."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.genpack.cluster import Cluster, Server
+from repro.genpack.energy import EnergyMeter, PowerModel
+from tests.genpack.test_cluster import running
+
+
+class TestPowerModel:
+    def test_idle_draw(self):
+        model = PowerModel(idle_watts=100, peak_watts=200)
+        assert model.power(Server("s")) == 100
+
+    def test_peak_draw(self):
+        model = PowerModel(idle_watts=100, peak_watts=200)
+        server = Server("s", cpu_capacity=4.0)
+        server.place(running("a", cpu=4.0, samples=[4.0]))
+        assert model.power(server) == 200
+
+    def test_linear_interpolation(self):
+        model = PowerModel(idle_watts=100, peak_watts=200)
+        server = Server("s", cpu_capacity=10.0)
+        server.place(running("a", cpu=5.0, samples=[5.0]))
+        assert model.power(server) == pytest.approx(150)
+
+    def test_standby_draw(self):
+        model = PowerModel(standby_watts=5)
+        server = Server("s")
+        server.power_off()
+        assert model.power(server) == 5
+
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(idle_watts=300, peak_watts=200)
+
+
+class TestEnergyMeter:
+    def test_integrates_constant_power(self):
+        cluster = Cluster.homogeneous(2)
+        meter = EnergyMeter(cluster, PowerModel(idle_watts=100, peak_watts=200))
+        meter.advance_to(3600.0)  # two idle servers for one hour
+        assert meter.energy_kwh == pytest.approx(0.2)
+
+    def test_piecewise_integration(self):
+        cluster = Cluster.homogeneous(1, cpu_capacity=10.0)
+        meter = EnergyMeter(cluster, PowerModel(idle_watts=100, peak_watts=200))
+        meter.advance_to(1800.0)              # half hour idle: 50 Wh
+        container = running("a", cpu=10.0, samples=[10.0])
+        cluster.servers[0].place(container)   # now at peak
+        meter.advance_to(3600.0)              # half hour peak: 100 Wh
+        assert meter.energy_kwh == pytest.approx(0.15)
+
+    def test_powered_off_server_costs_standby(self):
+        cluster = Cluster.homogeneous(1)
+        cluster.servers[0].power_off()
+        meter = EnergyMeter(
+            cluster, PowerModel(idle_watts=100, peak_watts=200, standby_watts=0)
+        )
+        meter.advance_to(3600.0)
+        assert meter.energy_kwh == 0.0
+
+    def test_backwards_time_rejected(self):
+        meter = EnergyMeter(Cluster.homogeneous(1))
+        meter.advance_to(10.0)
+        with pytest.raises(ConfigurationError):
+            meter.advance_to(5.0)
+
+    def test_average_servers_on(self):
+        cluster = Cluster.homogeneous(2)
+        meter = EnergyMeter(cluster)
+        meter.advance_to(1800.0)
+        cluster.servers[1].power_off()
+        meter.advance_to(3600.0)
+        assert meter.average_servers_on() == pytest.approx(1.5)
+
+    def test_energy_equals_power_times_time_invariant(self):
+        """Energy accounting equals sum of power x interval."""
+        cluster = Cluster.homogeneous(3, cpu_capacity=8.0)
+        model = PowerModel(idle_watts=80, peak_watts=240)
+        meter = EnergyMeter(cluster, model)
+        expected_joules = 0.0
+        time = 0.0
+        for step in range(1, 11):
+            watts = sum(model.power(server) for server in cluster.servers)
+            dt = step * 7.0
+            expected_joules += watts * dt
+            time += dt
+            meter.advance_to(time)
+            if step == 3:
+                cluster.servers[0].place(running("a", cpu=8.0, samples=[6.0]))
+            if step == 6:
+                cluster.servers[1].power_off()
+        assert meter.energy_joules == pytest.approx(expected_joules)

@@ -1,0 +1,149 @@
+"""Tests for server-failure handling (availability)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.genpack.baselines import FirstFitScheduler, SpreadScheduler
+from repro.genpack.cluster import Cluster
+from repro.genpack.monitor import RequestOnlyMonitor, ResourceMonitor
+from repro.genpack.scheduler import GenPackScheduler
+from repro.genpack.simulation import ClusterSimulation
+from repro.genpack.workload import ContainerWorkload
+from tests.genpack.test_cluster import running
+
+HOUR = 3600.0
+
+
+class TestServerCrash:
+    def test_crash_orphans_containers(self):
+        cluster = Cluster.homogeneous(2)
+        container = running("a")
+        cluster.servers[0].place(container)
+        orphans = cluster.servers[0].crash()
+        assert orphans == [container]
+        assert container.server is None
+        assert cluster.servers[0].failed
+        assert not cluster.servers[0].powered_on
+
+    def test_failed_server_cannot_power_on(self):
+        server = Cluster.homogeneous(1).servers[0]
+        server.crash()
+        with pytest.raises(SchedulingError):
+            server.power_on()
+
+    def test_repair_returns_server_to_pool(self):
+        server = Cluster.homogeneous(1).servers[0]
+        server.crash()
+        server.repair()
+        server.power_on()
+        assert server.powered_on and not server.failed
+
+
+class TestSchedulerFailover:
+    def test_genpack_reschedules_orphans(self):
+        cluster = Cluster.homogeneous(8)
+        workload = ContainerWorkload(seed=2)
+        scheduler = GenPackScheduler(cluster, ResourceMonitor(workload))
+        containers = [running("c%d" % i, cpu=2.0) for i in range(6)]
+        for i, container in enumerate(containers):
+            scheduler.on_arrival(container, float(i))
+        victim = containers[0].server
+        residents_before = len(victim.containers)
+        stranded = scheduler.on_server_failure(victim, 100.0)
+        assert stranded == []
+        assert residents_before > 0
+        for container in containers:
+            assert container.server is not None
+            assert container.server is not victim
+        cluster.check_invariants()
+
+    def test_genpack_reports_stranded_when_no_capacity(self):
+        cluster = Cluster.homogeneous(1, cpu_capacity=4.0)
+        workload = ContainerWorkload(seed=2)
+        scheduler = GenPackScheduler(cluster, ResourceMonitor(workload))
+        container = running("a", cpu=4.0)
+        scheduler.on_arrival(container, 0.0)
+        stranded = scheduler.on_server_failure(container.server, 1.0)
+        assert stranded == [container]
+
+    def test_baseline_failover(self):
+        cluster = Cluster.homogeneous(4)
+        scheduler = SpreadScheduler(cluster)
+        containers = [running("c%d" % i, cpu=2.0) for i in range(4)]
+        for container in containers:
+            scheduler.on_arrival(container, 0.0)
+        victim = containers[0].server
+        stranded = scheduler.on_server_failure(victim, 1.0)
+        assert stranded == []
+        cluster.check_invariants()
+
+    def test_first_fit_skips_failed_servers_on_wake(self):
+        cluster = Cluster.homogeneous(3, cpu_capacity=4.0)
+        scheduler = FirstFitScheduler(cluster, keep_on=1)
+        cluster.servers[1].crash()
+        scheduler.on_arrival(running("a", cpu=4.0), 0.0)
+        second = scheduler.on_arrival(running("b", cpu=4.0), 0.0)
+        assert second.name == "srv-002"
+
+
+class TestSimulationWithFailures:
+    def test_injected_failures_survived(self):
+        workload = ContainerWorkload(seed=4, duration=4 * HOUR,
+                                     arrival_rate_per_hour=20)
+        cluster = Cluster.homogeneous(20)
+        monitor = ResourceMonitor(workload)
+        scheduler = GenPackScheduler(cluster, monitor)
+        simulation = ClusterSimulation(
+            cluster, scheduler, workload, monitor=monitor,
+            failures=[(1 * HOUR, "srv-000"), (2 * HOUR, "srv-003")],
+        )
+        result = simulation.run(check_invariants_every=25)
+        assert result.failures == 2
+        assert result.completed > 0
+        assert result.stranded == 0
+        failed = [server for server in cluster.servers if server.failed]
+        assert len(failed) == 2
+
+    def test_failure_of_unknown_server_ignored(self):
+        workload = ContainerWorkload(seed=4, duration=1 * HOUR,
+                                     arrival_rate_per_hour=10)
+        cluster = Cluster.homogeneous(5)
+        monitor = ResourceMonitor(workload)
+        scheduler = GenPackScheduler(cluster, monitor)
+        result = ClusterSimulation(
+            cluster, scheduler, workload, monitor=monitor,
+            failures=[(100.0, "no-such-server")],
+        ).run()
+        assert result.completed >= 0
+
+
+class TestRequestOnlyMonitor:
+    def test_reports_requests_as_usage(self):
+        workload = ContainerWorkload(seed=3)
+        monitor = RequestOnlyMonitor(workload)
+        container = running("a", cpu=4.0, usage=1.0)
+        monitor.sample_all([container])
+        monitor.sample_all([container])
+        assert container.observed_cpu == pytest.approx(4.0)
+        assert monitor.is_profiled(container)
+
+    def test_disables_usage_packing_advantage(self):
+        """GenPack with monitoring beats GenPack without it."""
+        workload = ContainerWorkload(seed=5, duration=8 * HOUR,
+                                     arrival_rate_per_hour=50)
+        trace = workload.generate()
+        results = {}
+        for label, monitor_cls in (
+            ("with-monitoring", ResourceMonitor),
+            ("request-only", RequestOnlyMonitor),
+        ):
+            cluster = Cluster.homogeneous(30)
+            monitor = monitor_cls(workload)
+            scheduler = GenPackScheduler(cluster, monitor)
+            results[label] = ClusterSimulation(
+                cluster, scheduler, workload, trace=trace, monitor=monitor
+            ).run()
+        assert (
+            results["with-monitoring"].energy_kwh
+            < results["request-only"].energy_kwh
+        )

@@ -1,0 +1,80 @@
+"""Tests for heterogeneous clusters and memory-dimension packing."""
+
+import pytest
+
+from repro.genpack.baselines import FirstFitScheduler, SpreadScheduler
+from repro.genpack.cluster import Cluster, Server
+from repro.genpack.monitor import ResourceMonitor
+from repro.genpack.scheduler import GenPackScheduler
+from repro.genpack.simulation import ClusterSimulation
+from repro.genpack.workload import ContainerWorkload
+from tests.genpack.test_cluster import running
+
+HOUR = 3600.0
+
+
+def mixed_cluster():
+    """Big memory-heavy boxes plus small compute nodes."""
+    servers = [Server("big-%d" % i, cpu_capacity=32.0, mem_capacity=256.0)
+               for i in range(4)]
+    servers += [Server("small-%d" % i, cpu_capacity=8.0, mem_capacity=16.0)
+                for i in range(8)]
+    return Cluster(servers)
+
+
+class TestHeterogeneousCluster:
+    def test_capacity_sums(self):
+        cluster = mixed_cluster()
+        assert cluster.total_cpu_capacity == 4 * 32 + 8 * 8
+
+    def test_memory_constrains_placement(self):
+        small = Server("small", cpu_capacity=8.0, mem_capacity=4.0)
+        assert not small.fits_requests(
+            running("a", cpu=1.0, mem=8.0).spec
+        )
+
+    def test_spread_respects_memory_dimension(self):
+        cluster = Cluster([
+            Server("fat-mem", cpu_capacity=4.0, mem_capacity=64.0),
+            Server("thin-mem", cpu_capacity=16.0, mem_capacity=2.0),
+        ])
+        scheduler = SpreadScheduler(cluster)
+        placed = scheduler.on_arrival(running("a", cpu=1.0, mem=16.0), 0.0)
+        assert placed.name == "fat-mem"
+
+    def test_genpack_simulation_on_mixed_cluster(self):
+        workload = ContainerWorkload(seed=6, duration=6 * HOUR,
+                                     arrival_rate_per_hour=30)
+        cluster = mixed_cluster()
+        monitor = ResourceMonitor(workload)
+        scheduler = GenPackScheduler(cluster, monitor)
+        result = ClusterSimulation(
+            cluster, scheduler, workload, monitor=monitor
+        ).run(check_invariants_every=50)
+        assert result.completed > 0
+        assert result.rejected == 0
+        cluster.check_invariants()
+
+    def test_first_fit_simulation_on_mixed_cluster(self):
+        workload = ContainerWorkload(seed=6, duration=6 * HOUR,
+                                     arrival_rate_per_hour=30)
+        cluster = mixed_cluster()
+        scheduler = FirstFitScheduler(cluster)
+        result = ClusterSimulation(
+            cluster, scheduler, workload,
+            monitor=ResourceMonitor(workload),
+        ).run(check_invariants_every=50)
+        assert result.completed > 0
+        cluster.check_invariants()
+
+    def test_memory_overcommit_never_happens(self):
+        workload = ContainerWorkload(seed=8, duration=4 * HOUR,
+                                     arrival_rate_per_hour=40)
+        cluster = mixed_cluster()
+        monitor = ResourceMonitor(workload)
+        scheduler = GenPackScheduler(cluster, monitor)
+        ClusterSimulation(
+            cluster, scheduler, workload, monitor=monitor
+        ).run()
+        for server in cluster.servers:
+            assert server.mem_requested <= server.mem_capacity + 1e-9

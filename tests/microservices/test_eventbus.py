@@ -1,0 +1,115 @@
+"""Tests for the event bus and sealed events."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.crypto.aead import AeadKey
+from repro.microservices.eventbus import EventBus, SealedEvent
+from repro.sim.events import Environment
+
+
+def key(byte=7):
+    return AeadKey(bytes([byte]) * 32)
+
+
+class TestSealedEvent:
+    def test_round_trip(self):
+        event = SealedEvent.seal(key(), "readings", "meter-1", 0, b"w=230")
+        assert event.open(key()) == b"w=230"
+
+    def test_wrong_key(self):
+        event = SealedEvent.seal(key(1), "readings", "meter-1", 0, b"w=230")
+        with pytest.raises(IntegrityError):
+            event.open(key(2))
+
+    def test_topic_binding(self):
+        event = SealedEvent.seal(key(), "readings", "meter-1", 0, b"x")
+        event.topic = "commands"
+        with pytest.raises(IntegrityError):
+            event.open(key())
+
+    def test_sequence_binding(self):
+        event = SealedEvent.seal(key(), "readings", "meter-1", 5, b"x")
+        event.sequence = 6
+        with pytest.raises(IntegrityError):
+            event.open(key())
+
+    def test_sender_binding(self):
+        event = SealedEvent.seal(key(), "readings", "meter-1", 0, b"x")
+        event.sender = "imposter"
+        with pytest.raises(IntegrityError):
+            event.open(key())
+
+    def test_ciphertext_on_the_wire(self):
+        event = SealedEvent.seal(key(), "readings", "m", 0, b"SECRET-READING")
+        assert b"SECRET-READING" not in event.blob
+
+
+class TestEventBus:
+    def test_delivery_after_latency(self):
+        env = Environment()
+        bus = EventBus(env, latency=0.002)
+        received = []
+        bus.subscribe("t", lambda event: received.append((env.now, event)))
+        event = SealedEvent.seal(key(), "t", "s", bus.next_sequence("t"), b"x")
+        bus.publish(event)
+        env.run()
+        assert len(received) == 1
+        assert received[0][0] == pytest.approx(0.002)
+
+    def test_fifo_per_topic(self):
+        env = Environment()
+        bus = EventBus(env)
+        received = []
+        bus.subscribe("t", lambda event: received.append(event.sequence))
+        for _ in range(5):
+            sequence = bus.next_sequence("t")
+            bus.publish(SealedEvent.seal(key(), "t", "s", sequence, b"x"))
+        env.run()
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_fanout_to_all_subscribers(self):
+        env = Environment()
+        bus = EventBus(env)
+        counts = {"a": 0, "b": 0}
+        bus.subscribe("t", lambda _e: counts.__setitem__("a", counts["a"] + 1))
+        bus.subscribe("t", lambda _e: counts.__setitem__("b", counts["b"] + 1))
+        bus.publish(SealedEvent.seal(key(), "t", "s", 0, b"x"))
+        env.run()
+        assert counts == {"a": 1, "b": 1}
+
+    def test_no_cross_topic_delivery(self):
+        env = Environment()
+        bus = EventBus(env)
+        received = []
+        bus.subscribe("other", received.append)
+        bus.publish(SealedEvent.seal(key(), "t", "s", 0, b"x"))
+        env.run()
+        assert received == []
+
+    def test_unsubscribe(self):
+        env = Environment()
+        bus = EventBus(env)
+        received = []
+        unsubscribe = bus.subscribe("t", received.append)
+        unsubscribe()
+        bus.publish(SealedEvent.seal(key(), "t", "s", 0, b"x"))
+        env.run()
+        assert received == []
+
+    def test_counters(self):
+        env = Environment()
+        bus = EventBus(env)
+        bus.subscribe("t", lambda _e: None)
+        bus.publish(SealedEvent.seal(key(), "t", "s", 0, b"x"))
+        bus.publish(SealedEvent.seal(key(), "t", "s", 1, b"x"))
+        env.run()
+        assert bus.published == 2
+        assert bus.delivered == 2
+
+    def test_sequences_independent_per_topic(self):
+        env = Environment()
+        bus = EventBus(env)
+        assert bus.next_sequence("a") == 0
+        assert bus.next_sequence("a") == 1
+        assert bus.next_sequence("b") == 0

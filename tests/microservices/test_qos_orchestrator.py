@@ -1,0 +1,175 @@
+"""Tests for QoS monitoring, billing, and the orchestrator (E4)."""
+
+import pytest
+
+from repro.crypto.aead import AeadKey
+from repro.microservices.eventbus import EventBus, SealedEvent
+from repro.microservices.orchestrator import Orchestrator, OrchestratorPolicy
+from repro.microservices.qos import QosMonitor
+from repro.microservices.registry import ServiceRegistry
+from repro.microservices.service import MicroService
+from repro.sgx.platform import SgxPlatform
+from repro.sim.events import Environment
+
+
+def sink(ctx, topic, plaintext):
+    return []
+
+
+def heartbeat_pump(env, monitor, service, period=0.005, duration=0.6):
+    """Periodic liveness signals while the service is healthy."""
+    while env.now < duration:
+        yield env.timeout(period)
+        if service.healthy:
+            monitor.heartbeat(service.name)
+
+
+@pytest.fixture()
+def world():
+    env = Environment()
+    bus = EventBus(env, latency=0.0001)
+    platform = SgxPlatform(seed=43, quoting_key_bits=512)
+    keys = {"in": AeadKey(b"\x01" * 32)}
+    monitor = QosMonitor(env)
+    registry = ServiceRegistry()
+    service = MicroService("svc", platform, bus, {"in": sink}, keys,
+                           processing_time=0.001)
+    monitor.attach(service)
+    registry.register(service)
+    env.process(heartbeat_pump(env, monitor, service))
+    return env, bus, keys, monitor, registry, service
+
+
+def feed(bus, keys, count, spacing=0.002, start=0.0):
+    """Schedule ``count`` events spaced ``spacing`` apart."""
+    env = bus.env
+    for index in range(count):
+        def publish(_fired, i=index):
+            sequence = bus.next_sequence("in")
+            bus.publish(
+                SealedEvent.seal(keys["in"], "in", "gen", sequence, b"%d" % i)
+            )
+        env.timeout(start + index * spacing).callbacks.append(publish)
+
+
+class TestQosMonitor:
+    def test_observations_recorded(self, world):
+        env, bus, keys, monitor, _registry, _service = world
+        feed(bus, keys, 5)
+        env.run()
+        state = monitor.of("svc")
+        assert state.events_handled == 5
+        assert state.average_latency() == pytest.approx(0.001)
+        assert state.busy_seconds == pytest.approx(0.005)
+
+    def test_billing_prices_busy_time(self, world):
+        env, bus, keys, monitor, _registry, _service = world
+        feed(bus, keys, 10)
+        env.run()
+        report = monitor.billing_report(cpu_second_price=100.0)
+        assert report.lines["svc"] == pytest.approx(1.0)
+        assert report.total == pytest.approx(1.0)
+
+    def test_rolling_window_bounded(self, world):
+        env, bus, keys, monitor, _registry, _service = world
+        feed(bus, keys, 80)
+        env.run()
+        assert len(monitor.of("svc").recent_latencies) <= 50
+
+    def test_heartbeat_updates(self, world):
+        env, _bus, _keys, monitor, _registry, _service = world
+        env.timeout(0.01).callbacks.append(lambda _e: monitor.heartbeat("svc"))
+        env.run(until=0.011)
+        assert monitor.of("svc").last_heartbeat == pytest.approx(
+            0.01, abs=0.006  # the fixture's heartbeat pump also fires
+        )
+
+
+class TestOrchestrator:
+    def test_latency_anomaly_detected_within_milliseconds(self, world):
+        env, bus, keys, monitor, registry, service = world
+        orchestrator = Orchestrator(env, monitor, registry)
+        orchestrator.start(duration=0.5)
+        feed(bus, keys, 20, spacing=0.002)
+
+        def inject(_fired):
+            service.slowdown = 20.0  # 1 ms -> 20 ms handling
+            orchestrator.record_onset("svc")
+
+        env.timeout(0.010).callbacks.append(inject)
+        env.run()
+        assert orchestrator.detections
+        detection = orchestrator.detections[0]
+        assert detection.kind == "latency"
+        latency = detection.detection_latency
+        assert 0 < latency < 0.1  # detected within tens of milliseconds
+
+    def test_reaction_restores_service_speed(self, world):
+        env, bus, keys, monitor, registry, service = world
+        orchestrator = Orchestrator(env, monitor, registry)
+        orchestrator.start(duration=0.5)
+        feed(bus, keys, 30, spacing=0.002)
+
+        def inject(_fired):
+            service.slowdown = 20.0
+            orchestrator.record_onset("svc")
+
+        env.timeout(0.010).callbacks.append(inject)
+        env.run()
+        assert orchestrator.reactions >= 1
+        assert service.slowdown == 1.0
+
+    def test_liveness_anomaly_detected(self, world):
+        env, bus, keys, monitor, registry, service = world
+        policy = OrchestratorPolicy(heartbeat_timeout=0.01)
+        orchestrator = Orchestrator(env, monitor, registry, policy)
+        orchestrator.start(duration=0.2)
+        feed(bus, keys, 3, spacing=0.002)
+
+        def inject(_fired):
+            service.crash()
+            orchestrator.record_onset("svc")
+
+        env.timeout(0.02).callbacks.append(inject)
+        env.run()
+        kinds = {d.kind for d in orchestrator.detections}
+        assert "liveness" in kinds
+        assert service.healthy  # orchestrator recovered it
+
+    def test_no_false_positives_on_healthy_service(self, world):
+        env, bus, keys, monitor, registry, _service = world
+        orchestrator = Orchestrator(env, monitor, registry)
+        orchestrator.start(duration=0.1)
+        feed(bus, keys, 30, spacing=0.002)
+        env.run()
+        assert orchestrator.detections == []
+
+    def test_custom_reaction_hook_invoked(self, world):
+        env, bus, keys, monitor, registry, service = world
+        observed = []
+
+        def adapt(detection, svc):
+            observed.append((detection.kind, svc.name if svc else None))
+
+        orchestrator = Orchestrator(env, monitor, registry,
+                                    on_detection=adapt)
+        orchestrator.start(duration=0.5)
+        feed(bus, keys, 20, spacing=0.002)
+        env.timeout(0.01).callbacks.append(
+            lambda _e: setattr(service, "slowdown", 30.0)
+        )
+        env.run()
+        assert ("latency", "svc") in observed
+
+    def test_detection_latencies_listing(self, world):
+        env, bus, keys, monitor, registry, service = world
+        orchestrator = Orchestrator(env, monitor, registry)
+        orchestrator.start(duration=0.5)
+        feed(bus, keys, 20, spacing=0.002)
+        env.timeout(0.01).callbacks.append(
+            lambda _e: (setattr(service, "slowdown", 30.0),
+                        orchestrator.record_onset("svc"))
+        )
+        env.run()
+        latencies = orchestrator.detection_latencies()
+        assert latencies and all(l > 0 for l in latencies)

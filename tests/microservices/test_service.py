@@ -1,0 +1,159 @@
+"""Tests for the micro-service frame (Figure 1 properties)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, IntegrityError
+from repro.crypto.aead import AeadKey
+from repro.microservices.eventbus import EventBus, SealedEvent
+from repro.microservices.registry import ServiceRegistry
+from repro.microservices.service import MicroService
+from repro.sgx.platform import SgxPlatform
+from repro.sim.events import Environment
+
+
+def doubler(ctx, topic, plaintext):
+    value = int(plaintext.decode())
+    return [("out", str(value * 2).encode())]
+
+
+def swallower(ctx, topic, plaintext):
+    return []
+
+
+@pytest.fixture()
+def world():
+    env = Environment()
+    bus = EventBus(env, latency=0.0001)
+    platform = SgxPlatform(seed=41, quoting_key_bits=512)
+    keys = {"in": AeadKey(b"\x01" * 32), "out": AeadKey(b"\x02" * 32)}
+    return env, bus, platform, keys
+
+
+def publish_plain(bus, keys, topic, payload, sender="source"):
+    sequence = bus.next_sequence(topic)
+    bus.publish(SealedEvent.seal(keys[topic], topic, sender, sequence, payload))
+
+
+class TestMicroService:
+    def test_processes_and_republishes(self, world):
+        env, bus, platform, keys = world
+        MicroService("doubler", platform, bus, {"in": doubler}, keys)
+        outputs = []
+        bus.subscribe("out", outputs.append)
+        publish_plain(bus, keys, "in", b"21")
+        env.run()
+        assert len(outputs) == 1
+        assert outputs[0].open(keys["out"]) == b"42"
+
+    def test_output_is_ciphertext_on_bus(self, world):
+        env, bus, platform, keys = world
+        MicroService("doubler", platform, bus, {"in": doubler}, keys)
+        outputs = []
+        bus.subscribe("out", outputs.append)
+        publish_plain(bus, keys, "in", b"21")
+        env.run()
+        assert b"42" not in outputs[0].blob
+
+    def test_chained_services(self, world):
+        env, bus, platform, keys = world
+        keys = dict(keys)
+        keys["final"] = AeadKey(b"\x03" * 32)
+
+        def relabel(ctx, topic, plaintext):
+            return [("final", b"result:" + plaintext)]
+
+        MicroService("doubler", platform, bus, {"in": doubler}, keys)
+        MicroService("relabel", platform, bus, {"out": relabel}, keys)
+        finals = []
+        bus.subscribe("final", finals.append)
+        publish_plain(bus, keys, "in", b"10")
+        env.run()
+        assert finals[0].open(keys["final"]) == b"result:20"
+
+    def test_tampered_event_rejected_inside_enclave(self, world):
+        env, bus, platform, keys = world
+        MicroService("doubler", platform, bus, {"in": doubler}, keys)
+        event = SealedEvent.seal(keys["in"], "in", "source", 0, b"21")
+        event.blob = event.blob[:-1] + bytes([event.blob[-1] ^ 1])
+        bus.next_sequence("in")
+        bus.publish(event)
+        with pytest.raises(IntegrityError):
+            env.run()
+
+    def test_missing_topic_key_rejected(self, world):
+        env, bus, platform, keys = world
+
+        def bad_output(ctx, topic, plaintext):
+            return [("unknown-topic", b"x")]
+
+        MicroService("bad", platform, bus, {"in": bad_output}, keys)
+        publish_plain(bus, keys, "in", b"1")
+        with pytest.raises(ConfigurationError):
+            env.run()
+
+    def test_crashed_service_stops_handling(self, world):
+        env, bus, platform, keys = world
+        service = MicroService("doubler", platform, bus, {"in": doubler}, keys)
+        service.crash()
+        outputs = []
+        bus.subscribe("out", outputs.append)
+        publish_plain(bus, keys, "in", b"21")
+        env.run()
+        assert outputs == []
+        assert service.stats()["handled"] == 0
+
+    def test_stats_counts_handled(self, world):
+        env, bus, platform, keys = world
+        service = MicroService("sink", platform, bus, {"in": swallower}, keys)
+        for payload in (b"1", b"2", b"3"):
+            publish_plain(bus, keys, "in", payload)
+        env.run()
+        assert service.stats()["handled"] == 3
+
+    def test_processing_time_advances_clock(self, world):
+        env, bus, platform, keys = world
+        MicroService("sink", platform, bus, {"in": swallower}, keys,
+                     processing_time=0.004)
+        publish_plain(bus, keys, "in", b"1")
+        env.run()
+        assert env.now >= 0.004
+
+
+class TestServiceRegistry:
+    def test_register_and_lookup(self, world):
+        _env, bus, platform, keys = world
+        registry = ServiceRegistry()
+        service = MicroService("svc", platform, bus, {"in": swallower}, keys)
+        registry.register(service)
+        assert registry.lookup("svc") is service
+        assert registry.names() == ["svc"]
+
+    def test_pin_accepts_matching_measurement(self, world):
+        _env, bus, platform, keys = world
+        registry = ServiceRegistry()
+        service = MicroService("svc", platform, bus, {"in": swallower}, keys)
+        registry.pin("svc", service.measurement)
+        registry.register(service)
+
+    def test_pin_rejects_wrong_measurement(self, world):
+        from repro.errors import AttestationError
+
+        _env, bus, platform, keys = world
+        registry = ServiceRegistry()
+        service = MicroService("svc", platform, bus, {"in": swallower}, keys)
+        registry.pin("svc", "0" * 64)
+        with pytest.raises(AttestationError):
+            registry.register(service)
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ConfigurationError):
+            ServiceRegistry().lookup("ghost")
+
+    def test_deregister(self, world):
+        _env, bus, platform, keys = world
+        registry = ServiceRegistry()
+        service = MicroService("svc", platform, bus, {"in": swallower}, keys)
+        registry.register(service)
+        registry.deregister("svc")
+        with pytest.raises(ConfigurationError):
+            registry.lookup("svc")

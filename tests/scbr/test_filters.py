@@ -1,0 +1,155 @@
+"""Tests for constraints, subscriptions, and the covering relation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.scbr.filters import Constraint, Operator, Publication, Subscription
+
+
+def c(attribute, op, value):
+    return Constraint(attribute, op, value)
+
+
+class TestConstraintMatching:
+    @pytest.mark.parametrize(
+        "op,value,candidate,expected",
+        [
+            (Operator.EQ, 5, 5, True),
+            (Operator.EQ, 5, 6, False),
+            (Operator.LT, 5, 4, True),
+            (Operator.LT, 5, 5, False),
+            (Operator.LE, 5, 5, True),
+            (Operator.LE, 5, 6, False),
+            (Operator.GT, 5, 6, True),
+            (Operator.GT, 5, 5, False),
+            (Operator.GE, 5, 5, True),
+            (Operator.GE, 5, 4, False),
+        ],
+    )
+    def test_operators(self, op, value, candidate, expected):
+        assert c("a", op, value).matches(candidate) is expected
+
+
+class TestConstraintCovering:
+    def test_eq_covers_only_same_eq(self):
+        assert c("a", Operator.EQ, 5).covers(c("a", Operator.EQ, 5))
+        assert not c("a", Operator.EQ, 5).covers(c("a", Operator.EQ, 6))
+        assert not c("a", Operator.EQ, 5).covers(c("a", Operator.LE, 5))
+
+    def test_le_covering(self):
+        le10 = c("a", Operator.LE, 10)
+        assert le10.covers(c("a", Operator.LE, 10))
+        assert le10.covers(c("a", Operator.LE, 7))
+        assert le10.covers(c("a", Operator.LT, 10))
+        assert le10.covers(c("a", Operator.EQ, 10))
+        assert not le10.covers(c("a", Operator.LE, 11))
+        assert not le10.covers(c("a", Operator.GE, 0))
+
+    def test_lt_covering(self):
+        lt10 = c("a", Operator.LT, 10)
+        assert lt10.covers(c("a", Operator.LT, 10))
+        assert lt10.covers(c("a", Operator.LE, 9))
+        assert lt10.covers(c("a", Operator.EQ, 9))
+        assert not lt10.covers(c("a", Operator.LE, 10))
+        assert not lt10.covers(c("a", Operator.EQ, 10))
+
+    def test_ge_gt_covering(self):
+        ge5 = c("a", Operator.GE, 5)
+        assert ge5.covers(c("a", Operator.GE, 6))
+        assert ge5.covers(c("a", Operator.GT, 5))
+        assert ge5.covers(c("a", Operator.EQ, 5))
+        assert not ge5.covers(c("a", Operator.GE, 4))
+        gt5 = c("a", Operator.GT, 5)
+        assert gt5.covers(c("a", Operator.GT, 5))
+        assert gt5.covers(c("a", Operator.GE, 6))
+        assert not gt5.covers(c("a", Operator.GE, 5))
+
+    def test_different_attributes_incomparable(self):
+        assert not c("a", Operator.LE, 10).covers(c("b", Operator.LE, 5))
+
+    @given(
+        st.sampled_from([op for op in Operator if op is not Operator.RANGE]),
+        st.sampled_from([op for op in Operator if op is not Operator.RANGE]),
+        st.integers(-20, 20),
+        st.integers(-20, 20),
+        st.integers(-25, 25),
+    )
+    def test_covering_soundness_property(self, op_a, op_b, value_a, value_b, probe):
+        """If A covers B, every value matching B must match A."""
+        a = c("x", op_a, value_a)
+        b = c("x", op_b, value_b)
+        if a.covers(b) and b.matches(probe):
+            assert a.matches(probe)
+
+
+class TestSubscription:
+    def test_conjunction_semantics(self):
+        sub = Subscription(
+            "s1",
+            [c("temp", Operator.GE, 20), c("zone", Operator.EQ, 3)],
+        )
+        assert sub.matches(Publication({"temp": 25, "zone": 3}))
+        assert not sub.matches(Publication({"temp": 25, "zone": 4}))
+        assert not sub.matches(Publication({"temp": 10, "zone": 3}))
+
+    def test_missing_attribute_fails(self):
+        sub = Subscription("s1", [c("temp", Operator.GE, 20)])
+        assert not sub.matches(Publication({"humidity": 40}))
+
+    def test_extra_attributes_ignored(self):
+        sub = Subscription("s1", [c("temp", Operator.GE, 20)])
+        assert sub.matches(Publication({"temp": 30, "noise": 1}))
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Subscription(
+                "s1", [c("a", Operator.LE, 1), c("a", Operator.GE, 0)]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Subscription("s1", [])
+
+    def test_covering_requires_subset_of_attributes(self):
+        general = Subscription("g", [c("temp", Operator.GE, 0)])
+        specific = Subscription(
+            "s", [c("temp", Operator.GE, 10), c("zone", Operator.EQ, 1)]
+        )
+        assert general.covers(specific)
+        assert not specific.covers(general)
+
+    def test_covering_reflexive(self):
+        sub = Subscription("s", [c("a", Operator.LE, 5)])
+        assert sub.covers(sub)
+
+    @given(st.integers(-20, 20), st.integers(-20, 20), st.integers(-30, 30))
+    def test_subscription_covering_soundness(self, bound_a, bound_b, probe):
+        a = Subscription("a", [c("x", Operator.LE, bound_a)])
+        b = Subscription(
+            "b", [c("x", Operator.LE, bound_b), c("y", Operator.GE, 0)]
+        )
+        publication = Publication({"x": probe, "y": 1})
+        if a.covers(b) and b.matches(publication):
+            assert a.matches(publication)
+
+    def test_footprint_scales_with_constraints(self):
+        small = Subscription("s", [c("a", Operator.LE, 1)])
+        large = Subscription(
+            "l",
+            [c("a", Operator.LE, 1), c("b", Operator.GE, 0), c("d", Operator.EQ, 2)],
+        )
+        assert large.footprint_estimate() > small.footprint_estimate()
+
+
+class TestPublication:
+    def test_canonical_bytes_stable(self):
+        first = Publication({"b": 2, "a": 1}, b"pay")
+        second = Publication({"a": 1, "b": 2}, b"pay")
+        assert first.canonical_bytes() == second.canonical_bytes()
+
+    def test_canonical_bytes_distinguish_values(self):
+        assert (
+            Publication({"a": 1}).canonical_bytes()
+            != Publication({"a": 2}).canonical_bytes()
+        )

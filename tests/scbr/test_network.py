@@ -1,0 +1,169 @@
+"""Tests for the multi-broker SCBR network."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scbr.filters import Constraint, Operator, Publication, Subscription
+from repro.scbr.naive import LinearIndex
+from repro.scbr.network import ScbrNetwork
+from repro.scbr.workload import ScbrWorkload
+
+
+def sub(sub_id, attribute="temp", op=Operator.GE, bound=50):
+    return Subscription(sub_id, [Constraint(attribute, op, bound)])
+
+
+def line_network(names=("a", "b", "c")):
+    network = ScbrNetwork()
+    for name in names:
+        network.add_broker(name)
+    for first, second in zip(names, names[1:]):
+        network.connect(first, second)
+    return network
+
+
+class TestTopology:
+    def test_duplicate_broker_rejected(self):
+        network = ScbrNetwork()
+        network.add_broker("a")
+        with pytest.raises(ConfigurationError):
+            network.add_broker("a")
+
+    def test_cycle_rejected(self):
+        network = line_network()
+        with pytest.raises(ConfigurationError):
+            network.connect("a", "c")
+
+    def test_double_connect_rejected(self):
+        network = line_network()
+        with pytest.raises(ConfigurationError):
+            network.connect("a", "b")
+
+
+class TestRouting:
+    def test_local_delivery(self):
+        network = line_network()
+        network.subscribe("a", sub("s1"), client="alice")
+        delivered = network.publish("a", {"temp": 70})
+        assert delivered == [("alice", "s1")]
+
+    def test_multi_hop_delivery(self):
+        network = line_network()
+        network.subscribe("c", sub("s1"), client="carol")
+        delivered = network.publish("a", {"temp": 70})
+        assert delivered == [("carol", "s1")]
+
+    def test_non_matching_not_delivered(self):
+        network = line_network()
+        network.subscribe("c", sub("s1", bound=90), client="carol")
+        assert network.publish("a", {"temp": 70}) == []
+
+    def test_publication_only_forwarded_toward_subscribers(self):
+        network = line_network(("a", "b", "c", "d"))
+        network.subscribe("b", sub("s1"), client="bob")
+        network.publish("a", {"temp": 70})
+        stats_cd = network.brokers["c"].links["d"]
+        assert stats_cd.publications_forwarded == 0
+        assert network.brokers["a"].links["b"].publications_forwarded == 1
+
+    def test_fan_out_to_multiple_brokers(self):
+        network = ScbrNetwork()
+        for name in ("hub", "x", "y", "z"):
+            network.add_broker(name)
+        for leaf in ("x", "y", "z"):
+            network.connect("hub", leaf)
+        network.subscribe("x", sub("s1", bound=10), client="xavier")
+        network.subscribe("y", sub("s2", bound=20), client="yvonne")
+        delivered = network.publish("z", {"temp": 30})
+        assert sorted(delivered) == [("xavier", "s1"), ("yvonne", "s2")]
+
+    def test_no_echo_back_to_origin(self):
+        network = line_network(("a", "b"))
+        network.subscribe("a", sub("s1"), client="alice")
+        network.subscribe("b", sub("s2"), client="bob")
+        delivered = network.publish("a", {"temp": 70})
+        assert sorted(delivered) == [("alice", "s1"), ("bob", "s2")]
+        # a's publication crossed the a->b link exactly once.
+        assert network.brokers["a"].links["b"].publications_forwarded == 1
+        assert network.brokers["b"].links["a"].publications_forwarded == 0
+
+
+class TestCoveringOptimisation:
+    def test_covered_subscription_not_forwarded(self):
+        network = line_network(("a", "b"))
+        general = sub("general", bound=10)
+        specific = sub("specific", bound=50)
+        network.subscribe("b", general, client="bob")
+        network.subscribe("b", specific, client="bob")
+        link = network.brokers["b"].links["a"]
+        assert link.subscriptions_forwarded == 1
+        assert link.subscriptions_suppressed == 1
+
+    def test_suppressed_subscription_still_served(self):
+        """The covering invariant: suppression never loses deliveries."""
+        network = line_network(("a", "b"))
+        network.subscribe("b", sub("general", bound=10), client="bob")
+        network.subscribe("b", sub("specific", bound=50), client="bob")
+        delivered = network.publish("a", {"temp": 70})
+        assert sorted(s for _c, s in delivered) == ["general", "specific"]
+
+    def test_uncovered_subscriptions_all_forwarded(self):
+        network = line_network(("a", "b"))
+        network.subscribe("b", sub("s1", attribute="x"), client="bob")
+        network.subscribe("b", sub("s2", attribute="y"), client="bob")
+        assert network.brokers["b"].links["a"].subscriptions_forwarded == 2
+
+    def test_forwarding_stats_aggregate(self):
+        network = line_network(("a", "b"))
+        network.subscribe("b", sub("general", bound=10), client="bob")
+        network.subscribe("b", sub("specific", bound=50), client="bob")
+        stats = network.forwarding_stats()
+        assert stats["subscriptions_forwarded"] == 1
+        assert stats["subscriptions_suppressed"] == 1
+
+
+class TestEquivalenceWithSingleBroker:
+    def test_network_matches_flat_reference(self):
+        """Distribution must not change routing semantics."""
+        workload = ScbrWorkload(seed=33, num_attributes=10,
+                                containment_fraction=0.5)
+        subscriptions = workload.subscriptions(120)
+        publications = workload.publications(25)
+
+        network = line_network(("a", "b", "c", "d"))
+        reference = LinearIndex()
+        brokers = ("a", "b", "c", "d")
+        for position, subscription in enumerate(subscriptions):
+            network.subscribe(
+                brokers[position % 4], subscription,
+                client="client-%d" % position,
+            )
+            reference.insert(subscription)
+
+        for position, publication in enumerate(publications):
+            origin = brokers[position % 4]
+            delivered = network.brokers[origin].publish_local(publication)
+            network_ids = sorted(s for _c, s in delivered)
+            reference_ids = sorted(reference.match(publication))
+            assert network_ids == reference_ids
+
+
+class TestLinkConfidentiality:
+    def test_interbroker_traffic_is_ciphertext(self):
+        network = line_network(("a", "b"))
+        captured = []
+        link = network.brokers["a"].links["b"]
+        original = link.seal_publication
+
+        def capture(publication):
+            envelope = original(publication)
+            captured.append(envelope.blob)
+            return envelope
+
+        link.seal_publication = capture
+        network.subscribe("b", sub("s1"), client="bob")
+        network.publish("a", {"temp": 70}, payload=b"SECRET-PAYLOAD")
+        assert captured
+        for blob in captured:
+            assert b"SECRET-PAYLOAD" not in blob
+            assert b"temp" not in blob

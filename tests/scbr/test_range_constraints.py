@@ -1,0 +1,134 @@
+"""Tests for interval (RANGE) constraints."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.scbr.filters import Constraint, Operator, Publication, Subscription
+from repro.scbr.index import ContainmentIndex
+from repro.scbr.messages import deserialize_subscription, serialize_subscription
+from repro.scbr.naive import LinearIndex
+from repro.scbr.workload import ScbrWorkload
+
+
+def rng(attribute, low, high):
+    return Constraint.range_between(attribute, low, high)
+
+
+class TestRangeMatching:
+    def test_inclusive_bounds(self):
+        constraint = rng("x", 10, 20)
+        assert constraint.matches(10)
+        assert constraint.matches(20)
+        assert constraint.matches(15)
+        assert not constraint.matches(9.999)
+        assert not constraint.matches(20.001)
+
+    def test_degenerate_point_range(self):
+        constraint = rng("x", 5, 5)
+        assert constraint.matches(5)
+        assert not constraint.matches(5.1)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rng("x", 10, 5)
+
+
+class TestRangeCovering:
+    def test_range_covers_nested_range(self):
+        assert rng("x", 0, 100).covers(rng("x", 10, 90))
+        assert rng("x", 0, 100).covers(rng("x", 0, 100))
+        assert not rng("x", 10, 90).covers(rng("x", 0, 100))
+        assert not rng("x", 0, 50).covers(rng("x", 40, 60))
+
+    def test_range_covers_inner_eq(self):
+        assert rng("x", 0, 10).covers(Constraint("x", Operator.EQ, 5))
+        assert not rng("x", 0, 10).covers(Constraint("x", Operator.EQ, 11))
+
+    def test_range_never_covers_one_sided(self):
+        assert not rng("x", 0, 10).covers(Constraint("x", Operator.LE, 5))
+        assert not rng("x", 0, 10).covers(Constraint("x", Operator.GT, 5))
+
+    def test_one_sided_covers_range(self):
+        assert Constraint("x", Operator.LE, 100).covers(rng("x", 0, 100))
+        assert not Constraint("x", Operator.LT, 100).covers(rng("x", 0, 100))
+        assert Constraint("x", Operator.LT, 100).covers(rng("x", 0, 99))
+        assert Constraint("x", Operator.GE, 0).covers(rng("x", 0, 10))
+        assert not Constraint("x", Operator.GT, 0).covers(rng("x", 0, 10))
+
+    def test_eq_covers_point_range(self):
+        assert Constraint("x", Operator.EQ, 5).covers(rng("x", 5, 5))
+        assert not Constraint("x", Operator.EQ, 5).covers(rng("x", 5, 6))
+
+    @given(
+        st.integers(-20, 20), st.integers(0, 20),
+        st.integers(-20, 20), st.integers(0, 20),
+        st.integers(-25, 25),
+    )
+    def test_range_covering_soundness(self, low_a, span_a, low_b, span_b,
+                                      probe):
+        a = rng("x", low_a, low_a + span_a)
+        b = rng("x", low_b, low_b + span_b)
+        if a.covers(b) and b.matches(probe):
+            assert a.matches(probe)
+
+    @given(
+        st.sampled_from([Operator.LE, Operator.LT, Operator.GE, Operator.GT,
+                         Operator.EQ]),
+        st.integers(-20, 20),
+        st.integers(-20, 20), st.integers(0, 20),
+        st.integers(-30, 30),
+    )
+    def test_mixed_covering_soundness(self, op, bound, low, span, probe):
+        one_sided = Constraint("x", op, bound)
+        interval = rng("x", low, low + span)
+        for a, b in ((one_sided, interval), (interval, one_sided)):
+            if a.covers(b) and b.matches(probe):
+                assert a.matches(probe)
+
+
+class TestRangeIntegration:
+    def test_subscription_with_range(self):
+        subscription = Subscription(
+            "s", [rng("watts", 100, 500), Constraint("zone", Operator.EQ, 2)]
+        )
+        assert subscription.matches(Publication({"watts": 300, "zone": 2}))
+        assert not subscription.matches(Publication({"watts": 600, "zone": 2}))
+
+    def test_serialisation_round_trip(self):
+        subscription = Subscription("s", [rng("watts", 100, 500)], "alice")
+        restored = deserialize_subscription(
+            serialize_subscription(subscription)
+        )
+        constraint = restored.constraints["watts"]
+        assert constraint.operator is Operator.RANGE
+        assert tuple(constraint.value) == (100, 500)
+        assert restored.matches(Publication({"watts": 200}))
+
+    def test_index_equals_naive_with_ranges(self):
+        workload = ScbrWorkload(seed=71, num_attributes=8,
+                                containment_fraction=0.5,
+                                range_fraction=0.5)
+        index = ContainmentIndex()
+        naive = LinearIndex()
+        for subscription in workload.subscriptions(200):
+            index.insert(subscription)
+            naive.insert(subscription)
+        index.check_invariants()
+        for publication in workload.publications(25):
+            assert index.match(publication) == naive.match(publication)
+
+    def test_workload_generates_ranges(self):
+        workload = ScbrWorkload(seed=72, range_fraction=1.0, eq_fraction=0.0)
+        subscription = workload.subscription()
+        assert all(
+            constraint.operator is Operator.RANGE
+            for constraint in subscription.constraints.values()
+        )
+
+    def test_specialised_range_is_covered(self):
+        workload = ScbrWorkload(seed=73, range_fraction=1.0, eq_fraction=0.0,
+                                containment_fraction=1.0)
+        parent = workload.subscription()
+        child = workload.subscription()
+        assert parent.covers(child)

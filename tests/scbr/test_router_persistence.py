@@ -1,0 +1,97 @@
+"""Tests for router state persistence via SGX sealing."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.scbr.filters import Constraint, Operator, Publication, Subscription
+from repro.scbr.router import ScbrClient, ScbrRouter
+from repro.sgx.attestation import AttestationService
+from repro.sgx.platform import SgxPlatform
+
+
+@pytest.fixture()
+def world():
+    platform = SgxPlatform(seed=59, quoting_key_bits=512)
+    attestation = AttestationService()
+    attestation.register_platform(
+        platform.platform_id, platform.quoting_enclave.public_key
+    )
+    router = ScbrRouter(platform)
+    attestation.trust_measurement(router.measurement)
+    return platform, attestation, router
+
+
+def sub(sub_id, subscriber, bound=50):
+    return Subscription(
+        sub_id, [Constraint("temp", Operator.GE, bound)], subscriber
+    )
+
+
+class TestCheckpointRestore:
+    def test_restart_recovers_subscriptions(self, world):
+        platform, attestation, router = world
+        alice = ScbrClient("alice", router, attestation)
+        alice.subscribe(sub("s1", "alice"))
+        alice.subscribe(sub("s2", "alice", bound=80))
+        blob = router.checkpoint()
+
+        # Router crashes; a fresh instance of the same code restores.
+        router.enclave.destroy()
+        revived = ScbrRouter(platform)
+        assert revived.restore(blob) == 2
+        assert revived.stats()["subscriptions"] == 2
+
+        # Clients re-attest and traffic flows to the restored state.
+        alice2 = ScbrClient("alice", revived, attestation)
+        bob = ScbrClient("bob", revived, attestation)
+        notifications = bob.publish(Publication({"temp": 90}))
+        assert len(notifications) == 2
+        for envelope in notifications:
+            alice2.open_notification(envelope)
+
+    def test_checkpoint_is_opaque_to_host(self, world):
+        _platform, attestation, router = world
+        alice = ScbrClient("alice", router, attestation)
+        alice.subscribe(sub("secret-subscription-name", "alice"))
+        blob = router.checkpoint()
+        raw = blob.to_bytes()
+        assert b"secret-subscription-name" not in raw
+        assert b"temp" not in raw
+
+    def test_foreign_platform_cannot_restore(self, world):
+        _platform, attestation, router = world
+        ScbrClient("alice", router, attestation).subscribe(sub("s1", "alice"))
+        blob = router.checkpoint()
+        other_platform = SgxPlatform(seed=60, quoting_key_bits=512)
+        foreign_router = ScbrRouter(other_platform)
+        with pytest.raises(IntegrityError):
+            foreign_router.restore(blob)
+
+    def test_tampered_checkpoint_rejected(self, world):
+        platform, attestation, router = world
+        ScbrClient("alice", router, attestation).subscribe(sub("s1", "alice"))
+        blob = router.checkpoint()
+        from repro.sgx.sealing import SealedBlob
+
+        raw = bytearray(blob.to_bytes())
+        raw[-1] ^= 1
+        tampered = SealedBlob.from_bytes(bytes(raw))
+        revived = ScbrRouter(platform)
+        with pytest.raises(IntegrityError):
+            revived.restore(tampered)
+
+    def test_old_client_keys_do_not_survive_restart(self, world):
+        """Channel keys are ephemeral: pre-crash clients must
+        re-attest; stale envelopes are rejected."""
+        from repro.errors import AttestationError
+
+        platform, attestation, router = world
+        alice = ScbrClient("alice", router, attestation)
+        alice.subscribe(sub("s1", "alice"))
+        blob = router.checkpoint()
+        revived = ScbrRouter(platform)
+        revived.restore(blob)
+        stale = alice  # still holds the old channel key
+        with pytest.raises(AttestationError):
+            stale.router = revived
+            stale.publish(Publication({"temp": 90}))

@@ -1,0 +1,136 @@
+"""Tests for subscription removal (index, naive, router)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, IntegrityError
+from repro.scbr.filters import Constraint, Operator, Publication, Subscription
+from repro.scbr.index import ContainmentIndex
+from repro.scbr.naive import LinearIndex
+from repro.scbr.workload import ScbrWorkload
+
+
+def sub(sub_id, bound):
+    return Subscription(sub_id, [Constraint("x", Operator.LE, bound)])
+
+
+class TestIndexRemoval:
+    def test_remove_leaf(self):
+        index = ContainmentIndex()
+        index.insert(sub("a", 100))
+        index.insert(sub("b", 50))
+        index.remove("b")
+        assert len(index) == 1
+        assert "b" not in index
+        assert index.match(Publication({"x": 10})) == {"a"}
+
+    def test_remove_middle_of_chain_hoists_children(self):
+        index = ContainmentIndex()
+        index.insert(sub("a", 100))
+        index.insert(sub("b", 50))
+        index.insert(sub("c", 10))
+        index.remove("b")
+        index.check_invariants()
+        assert index.match(Publication({"x": 5})) == {"a", "c"}
+        assert index.depth() == 2
+
+    def test_remove_root_promotes_children_to_roots(self):
+        index = ContainmentIndex()
+        index.insert(sub("a", 100))
+        index.insert(sub("b", 50))
+        index.remove("a")
+        index.check_invariants()
+        assert index.match(Publication({"x": 40})) == {"b"}
+        assert len(index._roots) == 1
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ContainmentIndex().remove("ghost")
+
+    def test_duplicate_insert_rejected(self):
+        index = ContainmentIndex()
+        index.insert(sub("a", 100))
+        with pytest.raises(ConfigurationError):
+            index.insert(sub("a", 50))
+
+    def test_reinsert_after_remove(self):
+        index = ContainmentIndex()
+        index.insert(sub("a", 100))
+        index.remove("a")
+        index.insert(sub("a", 30))
+        assert index.match(Publication({"x": 20})) == {"a"}
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.data())
+    def test_removal_preserves_equivalence_property(self, seed, data):
+        workload = ScbrWorkload(seed=seed, num_attributes=8,
+                                containment_fraction=0.6)
+        subscriptions = workload.subscriptions(60)
+        index = ContainmentIndex()
+        naive = LinearIndex()
+        for subscription in subscriptions:
+            index.insert(subscription)
+            naive.insert(subscription)
+        doomed = data.draw(
+            st.lists(
+                st.sampled_from([s.subscription_id for s in subscriptions]),
+                unique=True, max_size=30,
+            )
+        )
+        for subscription_id in doomed:
+            index.remove(subscription_id)
+            naive.remove(subscription_id)
+        index.check_invariants()
+        for publication in workload.publications(8):
+            assert index.match(publication) == naive.match(publication)
+
+
+class TestLinearRemoval:
+    def test_remove(self):
+        naive = LinearIndex()
+        naive.insert(sub("a", 100))
+        removed = naive.remove("a")
+        assert removed.subscription_id == "a"
+        assert len(naive) == 0
+
+    def test_remove_unknown(self):
+        with pytest.raises(ConfigurationError):
+            LinearIndex().remove("ghost")
+
+
+class TestRouterUnsubscribe:
+    @pytest.fixture()
+    def world(self):
+        from repro.scbr.router import ScbrClient, ScbrRouter
+        from repro.sgx.attestation import AttestationService
+        from repro.sgx.platform import SgxPlatform
+
+        platform = SgxPlatform(seed=37, quoting_key_bits=512)
+        attestation = AttestationService()
+        attestation.register_platform(
+            platform.platform_id, platform.quoting_enclave.public_key
+        )
+        router = ScbrRouter(platform)
+        attestation.trust_measurement(router.measurement)
+        alice = ScbrClient("alice", router, attestation)
+        bob = ScbrClient("bob", router, attestation)
+        return router, alice, bob
+
+    def test_owner_can_unsubscribe(self, world):
+        router, alice, bob = world
+        alice.subscribe(
+            Subscription("s1", [Constraint("t", Operator.GE, 10)], "alice")
+        )
+        assert router.stats()["subscriptions"] == 1
+        alice.unsubscribe("s1")
+        assert router.stats()["subscriptions"] == 0
+        assert bob.publish(Publication({"t": 50})) == []
+
+    def test_non_owner_rejected(self, world):
+        router, alice, bob = world
+        alice.subscribe(
+            Subscription("s1", [Constraint("t", Operator.GE, 10)], "alice")
+        )
+        with pytest.raises(IntegrityError):
+            bob.unsubscribe("s1")
+        assert router.stats()["subscriptions"] == 1

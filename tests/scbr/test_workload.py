@@ -1,0 +1,67 @@
+"""Tests for the SCBR workload generator."""
+
+from repro.scbr.index import ContainmentIndex
+from repro.scbr.naive import LinearIndex
+from repro.scbr.workload import ScbrWorkload
+
+
+class TestWorkload:
+    def test_deterministic(self):
+        a = ScbrWorkload(seed=5).subscriptions(20)
+        b = ScbrWorkload(seed=5).subscriptions(20)
+        assert [s.subscription_id for s in a] == [s.subscription_id for s in b]
+        assert [list(s.constraints) for s in a] == [list(s.constraints) for s in b]
+
+    def test_seed_sensitivity(self):
+        a = ScbrWorkload(seed=1).subscription()
+        b = ScbrWorkload(seed=2).subscription()
+        assert (
+            list(a.constraints) != list(b.constraints)
+            or [c.value for c in a.constraints.values()]
+            != [c.value for c in b.constraints.values()]
+        )
+
+    def test_constraint_count_in_range(self):
+        workload = ScbrWorkload(seed=3, constraints_per_sub=(2, 4))
+        for subscription in workload.subscriptions(100):
+            assert 2 <= len(subscription.constraints) <= 4
+
+    def test_specialised_subscriptions_are_covered(self):
+        workload = ScbrWorkload(seed=7, containment_fraction=1.0)
+        first = workload.subscription()
+        second = workload.subscription()
+        assert first.covers(second)
+
+    def test_zero_containment_gives_flat_index(self):
+        workload = ScbrWorkload(seed=7, num_attributes=200,
+                                containment_fraction=0.0)
+        index = ContainmentIndex()
+        for subscription in workload.subscriptions(100):
+            index.insert(subscription)
+        # Random wide-attribute subscriptions rarely cover each other.
+        assert index.depth() <= 3
+
+    def test_fill_index_reaches_target_bytes(self):
+        workload = ScbrWorkload(seed=1)
+        index = LinearIndex(record_bytes=512)
+        workload.fill_index(index, 512 * 100)
+        assert len(index) == 100
+        assert index.database_bytes == 512 * 100
+
+    def test_publications_have_bounded_attributes(self):
+        workload = ScbrWorkload(seed=9)
+        for publication in workload.publications(50):
+            assert 3 <= len(publication.attributes) <= 8
+            for value in publication.attributes.values():
+                assert 0.0 <= value <= 1000.0
+
+    def test_some_publications_match_database(self):
+        workload = ScbrWorkload(seed=11, num_attributes=10)
+        index = LinearIndex()
+        for subscription in workload.subscriptions(300):
+            index.insert(subscription)
+        total_matches = sum(
+            len(index.match(publication))
+            for publication in workload.publications(30)
+        )
+        assert total_matches > 0

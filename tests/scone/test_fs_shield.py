@@ -1,0 +1,243 @@
+"""Tests for the file-system shield."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, IntegrityError
+from repro.crypto.aead import AeadKey
+from repro.crypto.primitives import DeterministicRandomSource
+from repro.scone.fs_shield import (
+    FsProtectionFile,
+    ProtectedVolume,
+    UntrustedStore,
+)
+
+
+def make_volume(chunk_size=64):
+    return ProtectedVolume(UntrustedStore(), chunk_size=chunk_size)
+
+
+class TestRoundTrip:
+    def test_write_read(self):
+        volume = make_volume()
+        volume.write("/data/secret.txt", b"hello enclave")
+        assert volume.read_all("/data/secret.txt") == b"hello enclave"
+
+    def test_multi_chunk_file(self):
+        volume = make_volume(chunk_size=16)
+        data = bytes(range(256))
+        volume.write("/big", data)
+        assert volume.read_all("/big") == data
+        assert volume.store.chunk_count("/big") == 16
+
+    def test_partial_read(self):
+        volume = make_volume(chunk_size=16)
+        volume.write("/f", b"0123456789abcdef" * 4)
+        assert volume.read("/f", offset=14, length=5) == b"ef012"
+
+    def test_overwrite_middle(self):
+        volume = make_volume(chunk_size=16)
+        volume.write("/f", b"a" * 48)
+        volume.write("/f", b"XYZ", offset=20)
+        expected = b"a" * 20 + b"XYZ" + b"a" * 25
+        assert volume.read_all("/f") == expected
+
+    def test_append(self):
+        volume = make_volume(chunk_size=16)
+        volume.write("/f", b"start")
+        volume.write("/f", b"-end", offset=5)
+        assert volume.read_all("/f") == b"start-end"
+
+    def test_write_past_end_zero_fills(self):
+        volume = make_volume(chunk_size=16)
+        volume.write("/f", b"ab")
+        volume.write("/f", b"Z", offset=40)
+        data = volume.read_all("/f")
+        assert data[:2] == b"ab"
+        assert data[2:40] == b"\x00" * 38
+        assert data[40:] == b"Z"
+
+    def test_empty_file(self):
+        volume = make_volume()
+        volume.create("/empty")
+        assert volume.read_all("/empty") == b""
+        assert volume.file_size("/empty") == 0
+
+    def test_read_bounds_checked(self):
+        volume = make_volume()
+        volume.write("/f", b"abc")
+        with pytest.raises(ConfigurationError):
+            volume.read("/f", offset=1, length=10)
+
+    def test_negative_offset_rejected(self):
+        volume = make_volume()
+        with pytest.raises(ConfigurationError):
+            volume.write("/f", b"x", offset=-1)
+
+    def test_unknown_file(self):
+        with pytest.raises(ConfigurationError):
+            make_volume().read_all("/nope")
+
+    def test_create_twice_rejected(self):
+        volume = make_volume()
+        volume.create("/f")
+        with pytest.raises(ConfigurationError):
+            volume.create("/f")
+
+    def test_delete(self):
+        volume = make_volume()
+        volume.write("/f", b"data")
+        volume.delete("/f")
+        assert not volume.exists("/f")
+        assert volume.store.chunk_count("/f") == 0
+
+    @settings(max_examples=30)
+    @given(
+        data=st.binary(min_size=0, max_size=500),
+        offset=st.integers(0, 200),
+        chunk_size=st.sampled_from([16, 64, 256]),
+    )
+    def test_random_offset_write_read_property(self, data, offset, chunk_size):
+        volume = make_volume(chunk_size=chunk_size)
+        base = bytes(range(200))
+        volume.write("/f", base)
+        volume.write("/f", data, offset=offset)
+        expected = bytearray(base.ljust(max(200, offset + len(data)), b"\x00"))
+        expected[offset : offset + len(data)] = data
+        assert volume.read_all("/f") == bytes(expected)
+
+
+class TestConfidentiality:
+    def test_store_never_sees_plaintext(self):
+        volume = make_volume(chunk_size=32)
+        secret = b"TOP-SECRET-METER-READING-1234"
+        volume.write("/f", secret * 4)
+        for path, index in list(volume.store._chunks):
+            blob = volume.store.get(path, index)
+            assert b"TOP-SECRET" not in blob
+            assert b"1234" not in blob
+
+    def test_same_plaintext_distinct_ciphertexts(self):
+        volume = make_volume(chunk_size=32)
+        volume.write("/a", b"x" * 32)
+        volume.write("/b", b"x" * 32)
+        assert volume.store.get("/a", 0) != volume.store.get("/b", 0)
+
+
+class TestTamperDetection:
+    def test_bit_flip_detected(self):
+        volume = make_volume(chunk_size=16)
+        volume.write("/f", b"0123456789abcdef" * 2)
+        volume.store.tamper("/f", 1, offset=20)
+        with pytest.raises(IntegrityError):
+            volume.read_all("/f")
+
+    def test_chunk_swap_detected(self):
+        volume = make_volume(chunk_size=16)
+        volume.write("/f", b"A" * 16 + b"B" * 16)
+        volume.store.swap("/f", 0, 1)
+        with pytest.raises(IntegrityError):
+            volume.read_all("/f")
+
+    def test_rollback_detected(self):
+        volume = make_volume(chunk_size=16)
+        volume.write("/f", b"version-one-data")
+        old_blob = volume.store.snapshot_chunk("/f", 0)
+        volume.write("/f", b"version-two-data")
+        volume.store.rollback("/f", 0, old_blob)
+        with pytest.raises(IntegrityError):
+            volume.read_all("/f")
+
+    def test_deleted_chunk_detected(self):
+        volume = make_volume(chunk_size=16)
+        volume.write("/f", b"x" * 32)
+        volume.store.delete_file("/f")
+        with pytest.raises(IntegrityError):
+            volume.read_all("/f")
+
+    def test_verify_all_passes_clean_volume(self):
+        volume = make_volume(chunk_size=16)
+        volume.write("/a", b"1" * 40)
+        volume.write("/b", b"2" * 40)
+        assert volume.verify_all()
+
+    def test_verify_all_catches_any_tamper(self):
+        volume = make_volume(chunk_size=16)
+        volume.write("/a", b"1" * 40)
+        volume.write("/b", b"2" * 40)
+        volume.store.tamper("/b", 2)
+        with pytest.raises(IntegrityError):
+            volume.verify_all()
+
+    def test_untouched_chunks_still_read_after_partial_write(self):
+        volume = make_volume(chunk_size=16)
+        volume.write("/f", b"c" * 64)
+        volume.write("/f", b"NEW", offset=16)
+        assert volume.read("/f", 0, 16) == b"c" * 16
+        assert volume.read("/f", 48, 16) == b"c" * 16
+
+
+class TestProtectionFile:
+    def test_serialise_round_trip(self):
+        volume = make_volume(chunk_size=16)
+        volume.write("/a", b"alpha" * 10)
+        volume.write("/b", b"beta" * 10)
+        manifest = volume.protection
+        restored = FsProtectionFile.deserialize(manifest.serialize())
+        assert restored.paths() == manifest.paths()
+        for path in manifest.paths():
+            assert restored.entry(path).chunk_tags == manifest.entry(path).chunk_tags
+            assert restored.entry(path).size == manifest.entry(path).size
+
+    def test_restored_manifest_reads_volume(self):
+        store = UntrustedStore()
+        volume = ProtectedVolume(store, chunk_size=16)
+        volume.write("/f", b"persistent-data!")
+        restored = ProtectedVolume(
+            store,
+            protection=FsProtectionFile.deserialize(volume.protection.serialize()),
+            chunk_size=16,
+        )
+        assert restored.read_all("/f") == b"persistent-data!"
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(IntegrityError):
+            FsProtectionFile.deserialize(b"not-a-manifest")
+
+    def test_truncated_rejected(self):
+        volume = make_volume()
+        volume.write("/f", b"data")
+        raw = volume.protection.serialize()
+        with pytest.raises(IntegrityError):
+            FsProtectionFile.deserialize(raw[: len(raw) - 5])
+
+    def test_content_hash_tracks_state(self):
+        volume = make_volume()
+        volume.write("/f", b"v1")
+        first = volume.protection.content_hash()
+        volume.write("/f", b"v2")
+        assert volume.protection.content_hash() != first
+
+    def test_encrypted_manifest_round_trip(self):
+        volume = make_volume()
+        volume.write("/f", b"data")
+        key = AeadKey(DeterministicRandomSource(0).bytes(32))
+        blob = volume.protection.encrypt(key)
+        expected_hash = volume.protection.content_hash()
+        restored = FsProtectionFile.decrypt(blob, key, expected_hash=expected_hash)
+        assert restored.paths() == ["/f"]
+
+    def test_encrypted_manifest_hash_mismatch(self):
+        volume = make_volume()
+        volume.write("/f", b"data")
+        key = AeadKey(DeterministicRandomSource(0).bytes(32))
+        blob = volume.protection.encrypt(key)
+        with pytest.raises(IntegrityError):
+            FsProtectionFile.decrypt(blob, key, expected_hash=b"\x00" * 32)
+
+    def test_wrong_key_rejected(self):
+        volume = make_volume()
+        volume.write("/f", b"data")
+        blob = volume.protection.encrypt(AeadKey(b"\x01" * 32))
+        with pytest.raises(IntegrityError):
+            FsProtectionFile.decrypt(blob, AeadKey(b"\x02" * 32))

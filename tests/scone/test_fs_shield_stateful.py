@@ -1,0 +1,78 @@
+"""Stateful property test: the FS shield against a reference model.
+
+Hypothesis drives random sequences of create/write/read/delete
+operations against a :class:`ProtectedVolume` and a plain in-memory
+reference; every read must agree, and a full-volume verification must
+pass at any point.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.scone.fs_shield import ProtectedVolume, UntrustedStore
+
+PATHS = ["/a", "/b", "/dir/c"]
+
+
+class FsShieldMachine(RuleBasedStateMachine):
+    @initialize(chunk_size=st.sampled_from([16, 64, 256]))
+    def setup(self, chunk_size):
+        self.volume = ProtectedVolume(UntrustedStore(), chunk_size=chunk_size)
+        self.reference = {}
+
+    @rule(path=st.sampled_from(PATHS),
+          data=st.binary(min_size=0, max_size=300),
+          offset=st.integers(0, 400))
+    def write(self, path, data, offset):
+        self.volume.write(path, data, offset=offset)
+        current = bytearray(self.reference.get(path, b""))
+        if offset > len(current):
+            current.extend(b"\x00" * (offset - len(current)))
+        if len(current) < offset + len(data):
+            current.extend(b"\x00" * (offset + len(data) - len(current)))
+        current[offset : offset + len(data)] = data
+        self.reference[path] = bytes(current)
+
+    @rule(path=st.sampled_from(PATHS))
+    def read_all(self, path):
+        if path in self.reference:
+            assert self.volume.read_all(path) == self.reference[path]
+
+    @rule(path=st.sampled_from(PATHS),
+          offset=st.integers(0, 400),
+          length=st.integers(0, 200))
+    def read_slice(self, path, offset, length):
+        if path not in self.reference:
+            return
+        size = len(self.reference[path])
+        offset = min(offset, size)
+        length = min(length, size - offset)
+        expected = self.reference[path][offset : offset + length]
+        assert self.volume.read(path, offset, length) == expected
+
+    @rule(path=st.sampled_from(PATHS))
+    def delete(self, path):
+        if path in self.reference:
+            self.volume.delete(path)
+            del self.reference[path]
+
+    @invariant()
+    def sizes_agree(self):
+        for path, expected in self.reference.items():
+            assert self.volume.file_size(path) == len(expected)
+
+    @invariant()
+    def volume_verifies(self):
+        assert self.volume.verify_all()
+
+
+TestFsShieldStateful = FsShieldMachine.TestCase
+TestFsShieldStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

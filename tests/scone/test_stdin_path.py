@@ -1,0 +1,72 @@
+"""Tests for the shielded stdin path of a SCONE process."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.scone.runtime import SconeProcess
+from repro.scone.stream_shield import ShieldedStreamWriter
+from repro.sgx.enclave import EnclaveCode
+from tests.scone.test_runtime import build_fixture
+
+
+def consume_stdin(ctx, env):
+    data = env.read_stdin()
+    env.stdout.write(b"consumed:" + data)
+    return data
+
+
+STDIN_CODE = EnclaveCode("stdin-app", {"main": consume_stdin})
+
+
+def build_process(seed=15):
+    platform, cas, store, fspf_blob, scf = build_fixture(seed=seed)
+    cas.register_scf(STDIN_CODE.measurement, scf)
+    stdin_transport = []
+    process = SconeProcess(
+        platform, STDIN_CODE, cas, store=store, fspf_blob=fspf_blob,
+        stdin_transport=stdin_transport,
+    )
+    return process, scf, stdin_transport
+
+
+class TestStdinPath:
+    def test_sealed_stdin_readable_inside(self):
+        process, scf, transport = build_process()
+        writer = ShieldedStreamWriter(scf.stdin_key, "stdin", transport)
+        writer.write(b"line one\n")
+        writer.write(b"line two\n")
+        writer.close()
+        process.start()
+        assert process.run("main") == b"line one\nline two\n"
+
+    def test_stdin_transport_is_ciphertext(self):
+        process, scf, transport = build_process()
+        writer = ShieldedStreamWriter(scf.stdin_key, "stdin", transport)
+        writer.write(b"SECRET-INPUT")
+        assert all(b"SECRET-INPUT" not in record for record in transport)
+
+    def test_tampered_stdin_rejected_inside(self):
+        process, scf, transport = build_process()
+        writer = ShieldedStreamWriter(scf.stdin_key, "stdin", transport)
+        writer.write(b"data")
+        writer.close()
+        transport[0] = transport[0][:-1] + bytes([transport[0][-1] ^ 1])
+        process.start()
+        with pytest.raises(IntegrityError):
+            process.run("main")
+
+    def test_wrong_key_stdin_rejected(self):
+        from repro.crypto.aead import AeadKey
+
+        process, _scf, transport = build_process()
+        stranger = ShieldedStreamWriter(AeadKey(b"\x0c" * 32), "stdin",
+                                        transport)
+        stranger.write(b"injected")
+        process.start()
+        with pytest.raises(IntegrityError):
+            process.run("main")
+
+    def test_empty_stdin_reads_empty(self):
+        process, _scf, _transport = build_process()
+        process.start()
+        assert process.run("main") == b""

@@ -1,0 +1,98 @@
+"""Tests for shielded standard streams."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.crypto.aead import AeadKey
+from repro.crypto.primitives import DeterministicRandomSource
+from repro.scone.stream_shield import ShieldedStreamReader, ShieldedStreamWriter
+
+
+def key(seed=0):
+    return AeadKey(DeterministicRandomSource(seed).bytes(32))
+
+
+def pair(stream_name="stdout"):
+    transport = []
+    k = key()
+    writer = ShieldedStreamWriter(k, stream_name, transport)
+    reader = ShieldedStreamReader(k, stream_name, transport)
+    return writer, reader, transport
+
+
+class TestStreams:
+    def test_round_trip(self):
+        writer, reader, _transport = pair()
+        writer.write(b"line one\n")
+        writer.write(b"line two\n")
+        writer.close()
+        assert reader.drain() == b"line one\nline two\n"
+        assert reader.closed
+
+    def test_transport_is_ciphertext(self):
+        writer, _reader, transport = pair()
+        writer.write(b"SECRET-OUTPUT")
+        assert b"SECRET-OUTPUT" not in transport[0]
+
+    def test_tampered_record(self):
+        writer, reader, transport = pair()
+        writer.write(b"data")
+        blob = bytearray(transport[0])
+        blob[-1] ^= 1
+        with pytest.raises(IntegrityError):
+            reader.read_record(bytes(blob))
+
+    def test_reordered_records(self):
+        writer, reader, transport = pair()
+        writer.write(b"first")
+        writer.write(b"second")
+        transport.reverse()
+        with pytest.raises(IntegrityError):
+            reader.drain()
+
+    def test_replayed_record(self):
+        writer, reader, transport = pair()
+        writer.write(b"once")
+        record = transport[0]
+        assert reader.read_record(record) == b"once"
+        with pytest.raises(IntegrityError):
+            reader.read_record(record)
+
+    def test_dropped_record_detected(self):
+        writer, reader, transport = pair()
+        writer.write(b"first")
+        writer.write(b"second")
+        del transport[0]
+        with pytest.raises(IntegrityError):
+            reader.drain()
+
+    def test_cross_stream_record_rejected(self):
+        shared_key = key()
+        out_writer = ShieldedStreamWriter(shared_key, "stdout")
+        err_reader = ShieldedStreamReader(shared_key, "stderr")
+        record = out_writer.write(b"misdirected")
+        with pytest.raises(IntegrityError):
+            err_reader.read_record(record)
+
+    def test_wrong_key_rejected(self):
+        writer, _reader, transport = pair()
+        writer.write(b"data")
+        wrong_reader = ShieldedStreamReader(key(9), "stdout", transport)
+        with pytest.raises(IntegrityError):
+            wrong_reader.drain()
+
+    def test_records_after_close_rejected(self):
+        writer, reader, _transport = pair()
+        writer.write(b"data")
+        close_record = writer.close()
+        reader.read_record(writer.transport[0])
+        reader.read_record(close_record)
+        extra = writer.write(b"sneaky")
+        with pytest.raises(IntegrityError):
+            reader.read_record(extra)
+
+    def test_records_written_counter(self):
+        writer, _reader, _transport = pair()
+        writer.write(b"a")
+        writer.write(b"b")
+        assert writer.records_written == 2

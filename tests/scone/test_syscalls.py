@@ -1,0 +1,173 @@
+"""Tests for the shielded syscall interface."""
+
+import pytest
+
+from repro.errors import ConfigurationError, IntegrityError
+from repro.sgx.costs import DEFAULT_COSTS
+from repro.scone.syscalls import (
+    AsyncSyscallExecutor,
+    QUEUE_SUBMIT_CYCLES,
+    SimulatedKernel,
+    SyncSyscallExecutor,
+    SyscallRequest,
+    SyscallShield,
+)
+from repro.sim.clock import CycleClock
+
+
+def sync_executor(kernel=None):
+    return SyncSyscallExecutor(
+        CycleClock(), kernel or SimulatedKernel(), DEFAULT_COSTS
+    )
+
+
+def async_executor(kernel=None, workers=2):
+    return AsyncSyscallExecutor(
+        CycleClock(), kernel or SimulatedKernel(), DEFAULT_COSTS, workers=workers
+    )
+
+
+class TestKernel:
+    def test_open_write_read(self):
+        kernel = SimulatedKernel()
+        fd = kernel.execute(SyscallRequest("open", ("/tmp/f",)))
+        kernel.execute(SyscallRequest("write", (fd, b"hello")))
+        fd2 = kernel.execute(SyscallRequest("open", ("/tmp/f",)))
+        data = kernel.execute(SyscallRequest("read", (fd2, 5)))
+        assert data == b"hello"
+
+    def test_bad_descriptor(self):
+        kernel = SimulatedKernel()
+        with pytest.raises(ConfigurationError):
+            kernel.execute(SyscallRequest("read", (99, 4)))
+
+    def test_unknown_syscall(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedKernel().execute(SyscallRequest("fork"))
+
+    def test_sequential_reads_advance_position(self):
+        kernel = SimulatedKernel()
+        fd = kernel.execute(SyscallRequest("open", ("/f",)))
+        kernel.execute(SyscallRequest("write", (fd, b"abcdef")))
+        fd2 = kernel.execute(SyscallRequest("open", ("/f",)))
+        assert kernel.execute(SyscallRequest("read", (fd2, 3))) == b"abc"
+        assert kernel.execute(SyscallRequest("read", (fd2, 3))) == b"def"
+
+
+class TestShield:
+    def test_oversized_read_rejected(self):
+        executor = sync_executor(SimulatedKernel(hostile=True))
+        fd = 7  # hostile kernel misbehaves on read regardless
+        executor.kernel._descriptors[fd] = ["/f", 0]
+        executor.kernel._files["/f"] = bytearray(b"xy")
+        with pytest.raises(IntegrityError, match="read"):
+            executor.call("read", fd, 2)
+        assert executor.shield.rejected == 1
+
+    def test_inflated_write_count_rejected(self):
+        executor = sync_executor(SimulatedKernel(hostile=True))
+        fd_request = SyscallRequest("open", ("/f",))
+        fd = executor.kernel.execute(fd_request)
+        with pytest.raises(IntegrityError, match="written"):
+            executor.call("write", fd, b"data")
+
+    def test_honest_results_pass(self):
+        executor = sync_executor()
+        fd = executor.call("open", "/f")
+        assert executor.call("write", fd, b"data") == 4
+
+    def test_negative_descriptor_rejected(self):
+        shield = SyscallShield()
+        with pytest.raises(IntegrityError):
+            shield.validate(SyscallRequest("open", ("/f",)), -1)
+
+    def test_copy_in_charged(self):
+        from repro.sgx.memory import SimulatedMemory
+
+        clock = CycleClock()
+        memory = SimulatedMemory(clock, DEFAULT_COSTS)
+        shield = SyscallShield(memory=memory)
+        shield.validate(SyscallRequest("read", (3, 1000)), b"x" * 1000)
+        assert clock.now == 500  # 0.5 cycles/byte
+
+
+class TestSyncExecutor:
+    def test_charges_two_transitions_plus_service(self):
+        executor = sync_executor()
+        executor.call("nanosleep", 0)
+        expected = 2 * DEFAULT_COSTS.transition_cycles + 1_500
+        assert executor.clock.now == expected
+
+    def test_call_counter(self):
+        executor = sync_executor()
+        executor.call("nanosleep", 0)
+        executor.call("nanosleep", 0)
+        assert executor.calls == 2
+
+
+class TestAsyncExecutor:
+    def test_submit_charges_only_queue_op(self):
+        executor = async_executor()
+        executor.submit("nanosleep", 0)
+        assert executor.clock.now == QUEUE_SUBMIT_CYCLES
+
+    def test_wait_advances_to_completion(self):
+        executor = async_executor()
+        pending = executor.submit("nanosleep", 0)
+        executor.wait(pending)
+        assert executor.clock.now == QUEUE_SUBMIT_CYCLES + 1_500
+
+    def test_poll_before_completion_returns_none(self):
+        executor = async_executor()
+        pending = executor.submit("nanosleep", 0)
+        assert executor.poll(pending) is None
+
+    def test_poll_after_compute_returns_result(self):
+        executor = async_executor()
+        pending = executor.submit("open", "/f")
+        executor.clock.charge(10_000)  # enclave does useful work meanwhile
+        assert executor.poll(pending) == 3
+
+    def test_overlap_beats_sync(self):
+        # 50 calls with 5k cycles of compute between: async should be
+        # dramatically cheaper because service time is overlapped.
+        sync = sync_executor()
+        for _ in range(50):
+            sync.call("nanosleep", 0)
+            sync.clock.charge(5_000)
+
+        a = async_executor()
+        pendings = []
+        for _ in range(50):
+            pendings.append(a.submit("nanosleep", 0))
+            a.clock.charge(5_000)
+        for pending in pendings:
+            a.wait(pending)
+        assert a.clock.now < sync.clock.now / 3
+
+    def test_workers_drain_in_parallel(self):
+        one = async_executor(workers=1)
+        many = async_executor(workers=4)
+        for executor in (one, many):
+            fd = executor.call("open", "/f")
+            pendings = [executor.submit("fsync", fd) for _ in range(8)]
+            for pending in pendings:
+                executor.wait(pending)
+        assert many.clock.now < one.clock.now
+
+    def test_hostile_kernel_caught_at_wait(self):
+        executor = async_executor(SimulatedKernel(hostile=True))
+        executor.kernel._descriptors[5] = ["/f", 0]
+        executor.kernel._files["/f"] = bytearray(b"ab")
+        pending = executor.submit("read", 5, 2)
+        with pytest.raises(IntegrityError):
+            executor.wait(pending)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            async_executor(workers=0)
+
+    def test_call_convenience(self):
+        executor = async_executor()
+        fd = executor.call("open", "/f")
+        assert executor.call("write", fd, b"hi") == 2

@@ -1,0 +1,106 @@
+"""Tests for the extended syscall surface (stat/unlink/sockets)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, IntegrityError
+from repro.sgx.costs import DEFAULT_COSTS
+from repro.scone.syscalls import SimulatedKernel, SyncSyscallExecutor
+from repro.sim.clock import CycleClock
+
+
+def executor(kernel=None):
+    return SyncSyscallExecutor(
+        CycleClock(), kernel or SimulatedKernel(), DEFAULT_COSTS
+    )
+
+
+class TestFileMetadata:
+    def test_stat_reports_size(self):
+        ex = executor()
+        fd = ex.call("open", "/f")
+        ex.call("write", fd, b"12345")
+        assert ex.call("stat", "/f") == {"size": 5}
+
+    def test_stat_missing_file(self):
+        with pytest.raises(ConfigurationError):
+            executor().call("stat", "/ghost")
+
+    def test_hostile_stat_rejected(self):
+        ex = executor(SimulatedKernel(hostile=True))
+        fd = ex.kernel._sys_open("/f")
+        with pytest.raises(IntegrityError):
+            ex.call("stat", "/f")
+
+    def test_unlink_removes_file(self):
+        ex = executor()
+        fd = ex.call("open", "/f")
+        ex.call("write", fd, b"x")
+        ex.call("unlink", "/f")
+        with pytest.raises(ConfigurationError):
+            ex.call("stat", "/f")
+
+    def test_unlink_missing_file(self):
+        with pytest.raises(ConfigurationError):
+            executor().call("unlink", "/ghost")
+
+
+class TestSockets:
+    def test_send_recv_loopback(self):
+        ex = executor()
+        server = ex.call("socket", "svc.example:9")
+        client = ex.call("socket", "client.example:1")
+        sent = ex.call("send", client, "svc.example:9", b"hello")
+        assert sent == 5
+        assert ex.call("recv", server, 100) == b"hello"
+
+    def test_recv_empty_queue(self):
+        ex = executor()
+        fd = ex.call("socket", "svc:1")
+        assert ex.call("recv", fd, 10) == b""
+
+    def test_datagram_order_preserved(self):
+        ex = executor()
+        server = ex.call("socket", "s:1")
+        client = ex.call("socket", "c:1")
+        for payload in (b"one", b"two", b"three"):
+            ex.call("send", client, "s:1", payload)
+        received = [ex.call("recv", server, 10) for _ in range(3)]
+        assert received == [b"one", b"two", b"three"]
+
+    def test_send_to_unbound_address(self):
+        ex = executor()
+        fd = ex.call("socket", "c:1")
+        with pytest.raises(ConfigurationError):
+            ex.call("send", fd, "nowhere:0", b"x")
+
+    def test_send_on_file_descriptor_rejected(self):
+        ex = executor()
+        fd = ex.call("open", "/f")
+        with pytest.raises(ConfigurationError):
+            ex.call("send", fd, "s:1", b"x")
+
+    def test_recv_truncates_to_max(self):
+        ex = executor()
+        server = ex.call("socket", "s:1")
+        client = ex.call("socket", "c:1")
+        ex.call("send", client, "s:1", b"0123456789")
+        assert ex.call("recv", server, 4) == b"0123"
+
+    def test_hostile_recv_rejected(self):
+        kernel = SimulatedKernel(hostile=True)
+        ex = executor(kernel)
+        server = kernel._sys_socket("s:1")
+        client = kernel._sys_socket("c:1")
+        kernel._sys_send(client, "s:1", b"data")
+        kernel._descriptors[server] = ["socket:s:1", 0]
+        with pytest.raises(IntegrityError):
+            ex.call("recv", server, 4)
+
+    def test_hostile_send_count_rejected(self):
+        kernel = SimulatedKernel(hostile=True)
+        ex = executor(kernel)
+        kernel._sys_socket("s:1")
+        client = kernel._sys_socket("c:1")
+        kernel._descriptors[client] = ["socket:c:1", 0]
+        with pytest.raises(IntegrityError):
+            ex.call("send", client, "s:1", b"data")

@@ -1,0 +1,45 @@
+"""Tests for the cost model."""
+
+from repro.sgx.costs import DEFAULT_COSTS, MIB, MemoryCosts
+
+
+class TestMemoryCosts:
+    def test_epc_usable_below_nominal(self):
+        assert DEFAULT_COSTS.epc_usable < DEFAULT_COSTS.epc_capacity
+
+    def test_epc_usable_matches_published_figure(self):
+        # ~93.4 MiB usable of 128 MiB, the widely reported figure.
+        usable_mib = DEFAULT_COSTS.epc_usable / MIB
+        assert 90 <= usable_mib <= 96
+
+    def test_cost_ordering(self):
+        costs = DEFAULT_COSTS
+        assert (
+            costs.llc_hit_cycles
+            < costs.dram_cycles
+            < costs.mee_read_cycles
+            < costs.page_fault_cycles
+        )
+
+    def test_scaled_overrides_one_field(self):
+        scaled = DEFAULT_COSTS.scaled(page_fault_cycles=1)
+        assert scaled.page_fault_cycles == 1
+        assert scaled.dram_cycles == DEFAULT_COSTS.dram_cycles
+
+    def test_scaled_returns_new_object(self):
+        assert DEFAULT_COSTS.scaled() is not DEFAULT_COSTS
+
+    def test_frozen(self):
+        import dataclasses
+
+        assert dataclasses.fields(MemoryCosts)
+        try:
+            DEFAULT_COSTS.dram_cycles = 1
+        except dataclasses.FrozenInstanceError:
+            return
+        raise AssertionError("MemoryCosts should be frozen")
+
+    def test_mee_penalty_in_published_band(self):
+        # SCONE reports 5.5-7.5x past-LLC read penalty inside enclaves.
+        ratio = DEFAULT_COSTS.mee_read_cycles / DEFAULT_COSTS.dram_cycles
+        assert 5.0 <= ratio <= 8.0

@@ -1,0 +1,99 @@
+"""Tests for sealing policies."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.sgx.enclave import EnclaveCode
+from repro.sgx.platform import SgxPlatform
+from repro.sgx.sealing import SealedBlob, SealingPolicy
+
+
+def seal_secret(ctx, secret, policy=None):
+    return ctx.seal(secret, policy=policy)
+
+
+def unseal_secret(ctx, blob):
+    return ctx.unseal(blob)
+
+
+CODE_V1 = EnclaveCode("sealer", {"seal": seal_secret, "unseal": unseal_secret})
+CODE_V2 = EnclaveCode(
+    "sealer", {"seal": seal_secret, "unseal": unseal_secret}, version=2
+)
+FOREIGN_CODE = EnclaveCode(
+    "other-app", {"seal": seal_secret, "unseal": unseal_secret}
+)
+
+
+@pytest.fixture()
+def platform():
+    return SgxPlatform(seed=11, quoting_key_bits=512)
+
+
+class TestMrEnclavePolicy:
+    def test_round_trip_same_enclave(self, platform):
+        enclave = platform.load_enclave(CODE_V1)
+        blob = enclave.ecall("seal", b"secret")
+        assert enclave.ecall("unseal", blob) == b"secret"
+
+    def test_same_code_new_instance_can_unseal(self, platform):
+        first = platform.load_enclave(CODE_V1)
+        blob = first.ecall("seal", b"secret")
+        first.destroy()
+        second = platform.load_enclave(CODE_V1)
+        assert second.ecall("unseal", blob) == b"secret"
+
+    def test_different_code_cannot_unseal(self, platform):
+        sealer = platform.load_enclave(CODE_V1)
+        blob = sealer.ecall("seal", b"secret")
+        upgraded = platform.load_enclave(CODE_V2)
+        with pytest.raises(IntegrityError):
+            upgraded.ecall("unseal", blob)
+
+    def test_different_platform_cannot_unseal(self, platform):
+        enclave = platform.load_enclave(CODE_V1)
+        blob = enclave.ecall("seal", b"secret")
+        other = SgxPlatform(seed=12, quoting_key_bits=512)
+        foreign = other.load_enclave(CODE_V1)
+        with pytest.raises(IntegrityError):
+            foreign.ecall("unseal", blob)
+
+
+class TestMrSignerPolicy:
+    def test_upgraded_code_same_signer_can_unseal(self, platform):
+        sealer = platform.load_enclave(CODE_V1)
+        blob = sealer.ecall("seal", b"secret", SealingPolicy.MRSIGNER)
+        upgraded = platform.load_enclave(CODE_V2)
+        assert upgraded.ecall("unseal", blob) == b"secret"
+
+    def test_different_signer_cannot_unseal(self, platform):
+        sealer = platform.load_enclave(CODE_V1)
+        blob = sealer.ecall("seal", b"secret", SealingPolicy.MRSIGNER)
+        foreign = platform.load_enclave(FOREIGN_CODE)
+        with pytest.raises(IntegrityError):
+            foreign.ecall("unseal", blob)
+
+
+class TestSerialisation:
+    def test_blob_round_trip(self, platform):
+        enclave = platform.load_enclave(CODE_V1)
+        blob = enclave.ecall("seal", b"secret")
+        parsed = SealedBlob.from_bytes(blob.to_bytes())
+        assert enclave.ecall("unseal", parsed) == b"secret"
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(IntegrityError):
+            SealedBlob.from_bytes(b"\xff")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(IntegrityError):
+            SealedBlob.from_bytes(b"\x00\x04haxx" + b"\x00" * 50)
+
+    def test_tampered_ciphertext_rejected(self, platform):
+        enclave = platform.load_enclave(CODE_V1)
+        blob = enclave.ecall("seal", b"secret")
+        raw = bytearray(blob.to_bytes())
+        raw[-1] ^= 0x01
+        tampered = SealedBlob.from_bytes(bytes(raw))
+        with pytest.raises(IntegrityError):
+            enclave.ecall("unseal", tampered)

@@ -1,0 +1,83 @@
+"""Tests for the virtual cycle clock."""
+
+import pytest
+
+from repro.sim.clock import (
+    CycleClock,
+    DEFAULT_FREQUENCY_HZ,
+    cycles_to_seconds,
+    seconds_to_cycles,
+)
+
+
+class TestCycleClock:
+    def test_starts_at_zero(self):
+        assert CycleClock().now == 0
+
+    def test_charge_advances(self):
+        clock = CycleClock()
+        clock.charge(100)
+        clock.charge(50)
+        assert clock.now == 150
+
+    def test_charge_returns_new_time(self):
+        clock = CycleClock()
+        assert clock.charge(7) == 7
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            CycleClock().charge(-1)
+
+    def test_zero_charge_allowed(self):
+        clock = CycleClock()
+        clock.charge(0)
+        assert clock.now == 0
+
+    def test_seconds_conversion(self):
+        clock = CycleClock(frequency_hz=1_000_000)
+        clock.charge(2_500_000)
+        assert clock.now_seconds == pytest.approx(2.5)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            CycleClock(frequency_hz=0)
+
+    def test_reset(self):
+        clock = CycleClock()
+        clock.charge(10)
+        clock.reset()
+        assert clock.now == 0
+
+    def test_float_charge_truncated_to_int(self):
+        clock = CycleClock()
+        clock.charge(10.7)
+        assert clock.now == 10
+
+
+class TestCycleSpan:
+    def test_span_measures_elapsed(self):
+        clock = CycleClock()
+        clock.charge(5)
+        with clock.measure() as span:
+            clock.charge(40)
+        assert span.elapsed == 40
+
+    def test_span_live_elapsed(self):
+        clock = CycleClock()
+        span = clock.measure()
+        clock.charge(12)
+        assert span.elapsed == 12
+
+    def test_span_elapsed_seconds(self):
+        clock = CycleClock(frequency_hz=100)
+        with clock.measure() as span:
+            clock.charge(50)
+        assert span.elapsed_seconds == pytest.approx(0.5)
+
+
+class TestConversions:
+    def test_round_trip(self):
+        assert seconds_to_cycles(cycles_to_seconds(123456)) == 123456
+
+    def test_default_frequency_is_scone_testbed(self):
+        assert DEFAULT_FREQUENCY_HZ == 2_600_000_000

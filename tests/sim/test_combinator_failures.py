@@ -1,0 +1,69 @@
+"""Failure-path tests for AllOf/AnyOf combinators."""
+
+import pytest
+
+from repro.sim.events import Environment
+
+
+class TestAllOfFailure:
+    def test_all_of_fails_when_child_fails(self):
+        env = Environment()
+
+        def failing():
+            yield env.timeout(1.0)
+            raise ValueError("child boom")
+
+        def healthy():
+            yield env.timeout(5.0)
+            return "ok"
+
+        combined = env.all_of([env.process(failing()), env.process(healthy())])
+        with pytest.raises(ValueError, match="child boom"):
+            env.run(until=combined)
+
+    def test_all_of_with_triggered_failure(self):
+        env = Environment()
+        failed = env.event()
+        failed.fail(RuntimeError("already broken"))
+        # Combinator attaches before the failure is processed, so the
+        # failure is observed (not an unhandled-event crash).
+        combined = env.all_of([failed, env.timeout(1.0)])
+        with pytest.raises(RuntimeError, match="already broken"):
+            env.run(until=combined)
+
+    def test_all_of_success_after_failure_branch_untaken(self):
+        env = Environment()
+        combined = env.all_of([env.timeout(1.0, value="a"),
+                               env.timeout(2.0, value="b")])
+        assert env.run(until=combined) == ["a", "b"]
+
+
+class TestAnyOfFailure:
+    def test_any_of_fails_if_first_event_fails(self):
+        env = Environment()
+
+        def failing():
+            yield env.timeout(1.0)
+            raise ValueError("first boom")
+
+        slow = env.timeout(10.0, value="slow")
+        combined = env.any_of([env.process(failing()), slow])
+        with pytest.raises(ValueError, match="first boom"):
+            env.run(until=combined)
+
+    def test_any_of_success_beats_later_failure(self):
+        env = Environment()
+
+        def failing():
+            yield env.timeout(10.0)
+            raise ValueError("too late to matter")
+
+        fast = env.timeout(1.0, value="fast")
+        process = env.process(failing())
+        combined = env.any_of([process, fast])
+        _event, value = env.run(until=combined)
+        assert value == "fast"
+        # The late failure is observed by the (already triggered)
+        # combinator, so draining does not crash the kernel.
+        env.run()
+        assert not process.ok

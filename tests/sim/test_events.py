@@ -1,0 +1,214 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.events import Environment, Interrupt, SimulationError
+
+
+class TestTimeouts:
+    def test_run_advances_time(self):
+        env = Environment()
+        env.timeout(5.0)
+        env.run()
+        assert env.now == 5.0
+
+    def test_timeouts_fire_in_order(self):
+        env = Environment()
+        fired = []
+        for delay in (3.0, 1.0, 2.0):
+            event = env.timeout(delay, value=delay)
+            event.callbacks.append(lambda ev: fired.append(ev.value))
+        env.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_same_time_fifo(self):
+        env = Environment()
+        fired = []
+        for tag in ("a", "b", "c"):
+            event = env.timeout(1.0, value=tag)
+            event.callbacks.append(lambda ev: fired.append(ev.value))
+        env.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_run_until_time_stops_early(self):
+        env = Environment()
+        env.timeout(10.0)
+        env.run(until=4.0)
+        assert env.now == 4.0
+
+
+class TestProcesses:
+    def test_process_sequencing(self):
+        env = Environment()
+        log = []
+
+        def worker(name, delay):
+            yield env.timeout(delay)
+            log.append((env.now, name))
+
+        env.process(worker("slow", 2.0))
+        env.process(worker("fast", 1.0))
+        env.run()
+        assert log == [(1.0, "fast"), (2.0, "slow")]
+
+    def test_process_return_value(self):
+        env = Environment()
+
+        def worker():
+            yield env.timeout(1.0)
+            return 42
+
+        proc = env.process(worker())
+        assert env.run(until=proc) == 42
+
+    def test_process_waits_on_process(self):
+        env = Environment()
+
+        def inner():
+            yield env.timeout(3.0)
+            return "inner-result"
+
+        def outer():
+            result = yield env.process(inner())
+            return result + "!"
+
+        proc = env.process(outer())
+        assert env.run(until=proc) == "inner-result!"
+        assert env.now == 3.0
+
+    def test_unhandled_exception_propagates(self):
+        env = Environment()
+
+        def failing():
+            yield env.timeout(1.0)
+            raise ValueError("boom")
+
+        env.process(failing())
+        with pytest.raises(ValueError, match="boom"):
+            env.run()
+
+    def test_waited_exception_raises_at_yield(self):
+        env = Environment()
+
+        def failing():
+            yield env.timeout(1.0)
+            raise ValueError("boom")
+
+        def waiter():
+            try:
+                yield env.process(failing())
+            except ValueError:
+                return "caught"
+
+        proc = env.process(waiter())
+        assert env.run(until=proc) == "caught"
+
+    def test_yield_non_event_fails_process(self):
+        env = Environment()
+
+        def bad():
+            yield 17
+
+        env.process(bad())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_interrupt(self):
+        env = Environment()
+
+        def sleeper():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as interruption:
+                return ("interrupted", interruption.cause, env.now)
+
+        def interrupter(victim):
+            yield env.timeout(2.0)
+            victim.interrupt(cause="preempted")
+
+        victim = env.process(sleeper())
+        env.process(interrupter(victim))
+        assert env.run(until=victim) == ("interrupted", "preempted", 2.0)
+
+    def test_interrupt_finished_process_rejected(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(0.0)
+
+        proc = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+    def test_waiting_on_already_triggered_event(self):
+        env = Environment()
+        pre_fired = env.event()
+        pre_fired.succeed("early")
+
+        def waiter():
+            value = yield pre_fired
+            return value
+
+        proc = env.process(waiter())
+        assert env.run(until=proc) == "early"
+
+
+class TestEvents:
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().fail("not an exception")
+
+    def test_value_before_trigger_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().value
+
+    def test_run_until_untriggerable_event_deadlocks(self):
+        env = Environment()
+        orphan = env.event()
+        with pytest.raises(SimulationError, match="deadlock"):
+            env.run(until=orphan)
+
+
+class TestCombinators:
+    def test_all_of_collects_values(self):
+        env = Environment()
+        events = [env.timeout(d, value=d) for d in (2.0, 1.0, 3.0)]
+        combined = env.all_of(events)
+        assert env.run(until=combined) == [2.0, 1.0, 3.0]
+        assert env.now == 3.0
+
+    def test_all_of_empty(self):
+        env = Environment()
+        combined = env.all_of([])
+        assert env.run(until=combined) == []
+
+    def test_any_of_returns_first(self):
+        env = Environment()
+        slow = env.timeout(5.0, value="slow")
+        fast = env.timeout(1.0, value="fast")
+        winner_event, value = env.run(until=env.any_of([slow, fast]))
+        assert value == "fast"
+        assert winner_event is fast
+        assert env.now == 1.0
+
+    def test_any_of_with_pretriggered(self):
+        env = Environment()
+        done = env.event()
+        done.succeed("already")
+        _event, value = env.run(until=env.any_of([done, env.timeout(9.0)]))
+        assert value == "already"

@@ -1,0 +1,152 @@
+"""Tests for Resource and Store."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.sim.events import Environment
+from repro.sim.resources import Resource, Store
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(CapacityError):
+            Resource(env, capacity=0)
+
+    def test_immediate_grant_below_capacity(self):
+        env = Environment()
+        cpu = Resource(env, capacity=2)
+        assert cpu.request().triggered
+        assert cpu.request().triggered
+        assert cpu.available == 0
+
+    def test_fifo_queueing(self):
+        env = Environment()
+        cpu = Resource(env, capacity=1)
+        order = []
+
+        def job(name, hold):
+            yield cpu.request()
+            order.append(("start", name, env.now))
+            yield env.timeout(hold)
+            cpu.release()
+
+        env.process(job("first", 2.0))
+        env.process(job("second", 1.0))
+        env.process(job("third", 1.0))
+        env.run()
+        names = [name for _tag, name, _t in order]
+        assert names == ["first", "second", "third"]
+        starts = {name: t for _tag, name, t in order}
+        assert starts["second"] == 2.0
+        assert starts["third"] == 3.0
+
+    def test_release_without_request_rejected(self):
+        env = Environment()
+        with pytest.raises(CapacityError):
+            Resource(env).release()
+
+    def test_queue_length(self):
+        env = Environment()
+        cpu = Resource(env, capacity=1)
+        cpu.request()
+        cpu.request()
+        cpu.request()
+        assert cpu.queue_length == 2
+        assert cpu.in_use == 1
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+
+        def consumer():
+            item = yield store.get()
+            return item
+
+        store.put("hello")
+        proc = env.process(consumer())
+        assert env.run(until=proc) == "hello"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def consumer():
+            item = yield store.get()
+            received.append((env.now, item))
+
+        def producer():
+            yield env.timeout(5.0)
+            yield store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert received == [(5.0, "late")]
+
+    def test_fifo_item_order(self):
+        env = Environment()
+        store = Store(env)
+        for i in range(5):
+            store.put(i)
+        taken = []
+
+        def consumer():
+            for _ in range(5):
+                item = yield store.get()
+                taken.append(item)
+
+        env.process(consumer())
+        env.run()
+        assert taken == [0, 1, 2, 3, 4]
+
+    def test_bounded_put_blocks(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        store.put("a")
+        timeline = []
+
+        def producer():
+            yield store.put("b")
+            timeline.append(("put-b", env.now))
+
+        def consumer():
+            yield env.timeout(3.0)
+            item = yield store.get()
+            timeline.append(("got-" + item, env.now))
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert ("got-a", 3.0) in timeline
+        assert ("put-b", 3.0) in timeline
+        assert len(store) == 1
+
+    def test_invalid_capacity(self):
+        env = Environment()
+        with pytest.raises(CapacityError):
+            Store(env, capacity=0)
+
+    def test_waiting_getter_served_directly(self):
+        env = Environment()
+        store = Store(env)
+        results = []
+
+        def consumer(tag):
+            item = yield store.get()
+            results.append((tag, item))
+
+        env.process(consumer("one"))
+        env.process(consumer("two"))
+
+        def producer():
+            yield env.timeout(1.0)
+            yield store.put("x")
+            yield store.put("y")
+
+        env.process(producer())
+        env.run()
+        assert results == [("one", "x"), ("two", "y")]

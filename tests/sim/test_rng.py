@@ -1,0 +1,82 @@
+"""Tests for seeded random streams."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import RandomStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_path_not_concatenation_ambiguous(self):
+        assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+
+
+class TestRandomStream:
+    def test_reproducible(self):
+        a = RandomStream(7)
+        b = RandomStream(7)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_child_streams_independent(self):
+        root = RandomStream(7)
+        child_a = root.child("arrivals")
+        child_b = root.child("sizes")
+        assert child_a.seed != child_b.seed
+
+    def test_child_deterministic(self):
+        assert (
+            RandomStream(7).child("x").random()
+            == RandomStream(7).child("x").random()
+        )
+
+    def test_bytes_length(self):
+        stream = RandomStream(1)
+        assert len(stream.bytes(17)) == 17
+        assert stream.bytes(0) == b""
+
+    def test_zipf_range(self):
+        stream = RandomStream(3)
+        draws = [stream.zipf(100, alpha=1.2) for _ in range(500)]
+        assert all(0 <= d < 100 for d in draws)
+
+    def test_zipf_skew(self):
+        stream = RandomStream(3)
+        draws = [stream.zipf(1000, alpha=1.5) for _ in range(2000)]
+        top_ten = sum(1 for d in draws if d < 10)
+        assert top_ten > len(draws) * 0.4  # strong head concentration
+
+    def test_zipf_invalid_n(self):
+        with pytest.raises(ValueError):
+            RandomStream(0).zipf(0)
+
+    def test_bounded_pareto_in_bounds(self):
+        stream = RandomStream(5)
+        draws = [stream.bounded_pareto(1.1, 1.0, 100.0) for _ in range(300)]
+        assert all(1.0 <= d <= 100.0 for d in draws)
+
+    def test_bounded_pareto_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            RandomStream(0).bounded_pareto(1.0, 5.0, 1.0)
+
+    def test_poisson_mean(self):
+        stream = RandomStream(11)
+        draws = [stream.poisson(4.0) for _ in range(3000)]
+        mean = sum(draws) / len(draws)
+        assert 3.6 < mean < 4.4
+
+    def test_poisson_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStream(0).poisson(-1)
+
+    @given(st.integers(min_value=0, max_value=2**32), st.integers(1, 64))
+    def test_bytes_deterministic_property(self, seed, n):
+        assert RandomStream(seed).bytes(n) == RandomStream(seed).bytes(n)

@@ -1,0 +1,156 @@
+"""Tests for the smart-meter fleet simulation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.smartgrid.meters import DAY, NOMINAL_VOLTS, SmartMeterFleet
+from repro.smartgrid.topology import GridTopology
+
+
+@pytest.fixture()
+def grid():
+    return GridTopology.build(
+        feeders=1, transformers_per_feeder=2, meters_per_transformer=4
+    )
+
+
+@pytest.fixture()
+def fleet(grid):
+    return SmartMeterFleet(grid, seed=5)
+
+
+NOON = DAY * 0.5
+EVENING = DAY * 0.8125
+
+
+class TestLoadModel:
+    def test_deterministic(self, grid):
+        a = SmartMeterFleet(grid, seed=5).reading("meter-0-0-00", NOON)
+        b = SmartMeterFleet(grid, seed=5).reading("meter-0-0-00", NOON)
+        assert a == b
+
+    def test_repeated_query_stable(self, fleet):
+        first = fleet.true_watts("meter-0-0-00", NOON)
+        second = fleet.true_watts("meter-0-0-00", NOON)
+        assert first == second
+
+    def test_non_negative_load(self, fleet):
+        for meter in fleet.topology.meters:
+            for hour in range(0, 24, 3):
+                assert fleet.true_watts(meter, hour * 3600.0) >= 0.0
+
+    def test_household_evening_peak(self, grid):
+        fleet = SmartMeterFleet(grid, seed=5, industrial_fraction=0.0)
+        meter = grid.meters[0]
+        night = fleet.true_watts(meter, DAY * 0.125)  # 03:00
+        evening = fleet.true_watts(meter, EVENING)    # 19:30
+        assert evening > night
+
+    def test_industrial_business_hours(self, grid):
+        fleet = SmartMeterFleet(grid, seed=5, industrial_fraction=1.0)
+        meter = grid.meters[0]
+        working = fleet.true_watts(meter, NOON)
+        night = fleet.true_watts(meter, DAY * 0.05)
+        assert working > 2 * night
+
+    def test_voltage_near_nominal(self, fleet):
+        reading = fleet.reading("meter-0-0-00", NOON)
+        assert abs(reading.volts - NOMINAL_VOLTS) < NOMINAL_VOLTS * 0.05
+
+    def test_readings_window_shape(self, fleet):
+        readings = fleet.readings_window(0.0, 300.0)
+        # 8 meters x 10 samples at 30 s.
+        assert len(readings) == 80
+        assert len({reading.meter_id for reading in readings}) == 8
+
+    def test_to_record(self, fleet):
+        record = fleet.reading("meter-0-0-00", 60.0).to_record()
+        assert set(record) == {"meter", "t", "w", "v"}
+
+
+class TestAggregateConsistency:
+    def test_transformer_equals_sum_of_true_loads(self, fleet):
+        transformer = "tx-0-0"
+        total = fleet.transformer_watts(transformer, NOON)
+        summed = sum(
+            fleet.true_watts(meter, NOON)
+            for meter in fleet.topology.meters_under(transformer)
+        )
+        assert total == pytest.approx(summed)
+
+    def test_no_theft_no_loss(self, fleet):
+        transformer = "tx-0-0"
+        reported = sum(
+            fleet.reading(meter, NOON).watts
+            for meter in fleet.topology.meters_under(transformer)
+        )
+        measured = fleet.transformer_watts(transformer, NOON)
+        assert reported == pytest.approx(measured, rel=1e-9)
+
+
+class TestTheftInjection:
+    def test_reported_drops_after_start(self, fleet):
+        meter = "meter-0-0-01"
+        fleet.inject_theft(meter, start=1000.0, fraction=0.5)
+        before = fleet.reading(meter, 999.0)
+        after = fleet.reading(meter, 1000.0)
+        true_after = fleet.true_watts(meter, 1000.0)
+        assert after.watts == pytest.approx(true_after * 0.5)
+        assert before.watts == pytest.approx(fleet.true_watts(meter, 999.0))
+
+    def test_transformer_still_sees_truth(self, fleet):
+        meter = "meter-0-0-01"
+        fleet.inject_theft(meter, start=0.0, fraction=0.5)
+        measured = fleet.transformer_watts("tx-0-0", NOON)
+        reported = sum(
+            fleet.reading(m, NOON).watts
+            for m in fleet.topology.meters_under("tx-0-0")
+        )
+        assert measured > reported
+
+    def test_ground_truth_listing(self, fleet):
+        fleet.inject_theft("meter-0-0-01", start=0.0)
+        assert fleet.theft_ground_truth == {"meter-0-0-01"}
+
+    def test_invalid_injections(self, fleet):
+        with pytest.raises(ConfigurationError):
+            fleet.inject_theft("ghost", 0.0)
+        with pytest.raises(ConfigurationError):
+            fleet.inject_theft("meter-0-0-00", 0.0, fraction=1.5)
+
+
+class TestVoltageAndFaults:
+    def test_voltage_sag_applied(self, fleet):
+        fleet.inject_voltage_event("tx-0-0", 100.0, 200.0, per_unit=0.8)
+        in_event = fleet.reading("meter-0-0-00", 150.0)
+        outside = fleet.reading("meter-0-0-00", 300.0)
+        assert in_event.volts == pytest.approx(NOMINAL_VOLTS * 0.8)
+        assert abs(outside.volts - NOMINAL_VOLTS) < NOMINAL_VOLTS * 0.05
+
+    def test_sag_only_affects_that_transformer(self, fleet):
+        fleet.inject_voltage_event("tx-0-0", 100.0, 200.0, per_unit=0.8)
+        unaffected = fleet.reading("meter-0-1-00", 150.0)
+        assert abs(unaffected.volts - NOMINAL_VOLTS) < NOMINAL_VOLTS * 0.05
+
+    def test_unknown_transformer_rejected(self, fleet):
+        with pytest.raises(ConfigurationError):
+            fleet.inject_voltage_event("ghost", 0.0, 1.0, 0.8)
+
+    def test_fault_blacks_out_subtree(self, fleet):
+        fleet.inject_fault("tx-0-1", 100.0, 200.0)
+        dark = fleet.reading("meter-0-1-00", 150.0)
+        lit = fleet.reading("meter-0-0-00", 150.0)
+        assert dark.watts == 0.0 and dark.volts == 0.0
+        assert lit.watts > 0.0
+
+    def test_fault_ends(self, fleet):
+        fleet.inject_fault("tx-0-1", 100.0, 200.0)
+        restored = fleet.reading("meter-0-1-00", 200.0)
+        assert restored.volts > 0.0
+
+    def test_fault_removes_load_from_transformer(self, fleet):
+        before = fleet.transformer_watts("tx-0-1", 150.0)
+        fleet.inject_fault("tx-0-1", 100.0, 200.0)
+        during = fleet.transformer_watts("tx-0-1", 150.0)
+        assert before > 0.0
+        assert during == 0.0

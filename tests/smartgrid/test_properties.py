@@ -1,0 +1,75 @@
+"""Property tests on smart-grid invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.smartgrid.meters import SmartMeterFleet
+from repro.smartgrid.topology import GridTopology
+
+topology_shapes = st.tuples(
+    st.integers(1, 3),  # feeders
+    st.integers(1, 3),  # transformers per feeder
+    st.integers(1, 5),  # meters per transformer
+)
+
+
+class TestTopologyProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(topology_shapes)
+    def test_meter_partition(self, shape):
+        """Transformers partition the meter set exactly."""
+        feeders, transformers, meters = shape
+        grid = GridTopology.build(feeders, transformers, meters)
+        seen = []
+        for transformer in grid.transformers:
+            seen.extend(grid.meters_under(transformer))
+        assert sorted(seen) == grid.meters
+
+    @settings(max_examples=25, deadline=None)
+    @given(topology_shapes)
+    def test_paths_always_go_through_hierarchy(self, shape):
+        grid = GridTopology.build(*shape)
+        for meter in grid.meters:
+            path = grid.path_to(meter)
+            kinds = [grid.kind_of(element) for element in path]
+            assert kinds == ["substation", "feeder", "transformer", "meter"]
+
+    @settings(max_examples=20, deadline=None)
+    @given(topology_shapes, st.data())
+    def test_common_ancestor_contains_all(self, shape, data):
+        grid = GridTopology.build(*shape)
+        chosen = data.draw(
+            st.lists(st.sampled_from(grid.meters), min_size=1, max_size=5)
+        )
+        ancestor = grid.deepest_common_ancestor(chosen)
+        covered = set(grid.meters_under(ancestor)) or {ancestor}
+        assert set(chosen) <= covered
+
+
+class TestFleetProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(0, 1000),
+        st.floats(min_value=0.0, max_value=86400.0 * 2,
+                  allow_nan=False, allow_infinity=False),
+    )
+    def test_aggregate_consistency_property(self, seed, timestamp):
+        """Transformer measurement equals the sum of true meter loads,
+        for every seed and instant."""
+        grid = GridTopology.build(1, 2, 3)
+        fleet = SmartMeterFleet(grid, seed=seed)
+        for transformer in grid.transformers:
+            total = fleet.transformer_watts(transformer, timestamp)
+            summed = sum(
+                fleet.true_watts(meter, timestamp)
+                for meter in grid.meters_under(transformer)
+            )
+            assert abs(total - summed) < 1e-6
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_loads_always_non_negative(self, seed):
+        grid = GridTopology.build(1, 1, 4)
+        fleet = SmartMeterFleet(grid, seed=seed)
+        for meter in grid.meters:
+            for hour in (0, 6, 12, 18, 23):
+                assert fleet.true_watts(meter, hour * 3600.0) >= 0.0

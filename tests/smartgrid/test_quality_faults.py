@@ -1,0 +1,135 @@
+"""Tests for power-quality monitoring and fault detection."""
+
+import pytest
+
+from repro.smartgrid.faults import FaultDetector
+from repro.smartgrid.meters import NOMINAL_VOLTS, SmartMeterFleet
+from repro.smartgrid.quality import (
+    PowerQualityMonitor,
+    classify_sample,
+)
+from repro.smartgrid.topology import GridTopology
+
+
+@pytest.fixture()
+def grid():
+    return GridTopology.build(
+        feeders=2, transformers_per_feeder=2, meters_per_transformer=4
+    )
+
+
+@pytest.fixture()
+def fleet(grid):
+    return SmartMeterFleet(grid, seed=7, interval=30.0)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "per_unit,expected",
+        [
+            (1.0, "normal"),
+            (0.95, "normal"),
+            (0.85, "sag"),
+            (0.5, "sag"),
+            (0.01, "interruption"),
+            (0.0, "interruption"),
+            (1.15, "swell"),
+            (1.05, "normal"),
+        ],
+    )
+    def test_bands(self, per_unit, expected):
+        assert classify_sample(NOMINAL_VOLTS * per_unit) == expected
+
+
+class TestQualityMonitor:
+    def test_clean_window_no_events(self, grid, fleet):
+        monitor = PowerQualityMonitor(grid)
+        readings = fleet.readings_window(0.0, 600.0)
+        assert monitor.detect(readings) == []
+
+    def test_sag_event_detected_and_merged(self, grid, fleet):
+        fleet.inject_voltage_event("tx-0-0", 120.0, 300.0, per_unit=0.8)
+        monitor = PowerQualityMonitor(grid)
+        readings = fleet.readings_window(0.0, 600.0)
+        events = monitor.detect(readings)
+        assert len(events) == 1
+        event = events[0]
+        assert event.transformer == "tx-0-0"
+        assert event.kind == "sag"
+        assert event.start == 120.0
+        assert event.end == 300.0
+        assert event.duration == pytest.approx(180.0)
+        assert len(event.affected_meters) == 4
+
+    def test_swell_event(self, grid, fleet):
+        fleet.inject_voltage_event("tx-1-1", 60.0, 120.0, per_unit=1.2)
+        monitor = PowerQualityMonitor(grid)
+        events = monitor.detect(fleet.readings_window(0.0, 300.0))
+        assert [e.kind for e in events] == ["swell"]
+        assert events[0].transformer == "tx-1-1"
+
+    def test_two_transformers_two_events(self, grid, fleet):
+        fleet.inject_voltage_event("tx-0-0", 60.0, 120.0, per_unit=0.8)
+        fleet.inject_voltage_event("tx-1-0", 60.0, 120.0, per_unit=0.8)
+        monitor = PowerQualityMonitor(grid)
+        events = monitor.detect(fleet.readings_window(0.0, 300.0))
+        assert {event.transformer for event in events} == {"tx-0-0", "tx-1-0"}
+
+    def test_sample_classification_counts(self, grid, fleet):
+        fleet.inject_voltage_event("tx-0-0", 0.0, 60.0, per_unit=0.8)
+        monitor = PowerQualityMonitor(grid)
+        counts = monitor.sample_classifications(
+            fleet.readings_window(0.0, 60.0)
+        )
+        assert counts.get("sag", 0) == 8  # 4 meters x 2 slots
+        assert counts.get("normal", 0) > 0
+
+
+class TestFaultDetector:
+    def test_no_fault_no_events(self, grid, fleet):
+        detector = FaultDetector(grid)
+        assert detector.scan_window(fleet, 0.0, 300.0) == []
+
+    def test_transformer_fault_localised(self, grid, fleet):
+        fleet.inject_fault("tx-0-1", 150.0, 900.0)
+        detector = FaultDetector(grid)
+        events = detector.scan_window(fleet, 0.0, 600.0)
+        assert len(events) == 1
+        event = events[0]
+        assert event.element == "tx-0-1"
+        assert event.kind == "transformer"
+        assert len(event.dark_meters) == 4
+
+    def test_detection_latency_within_one_interval(self, grid, fleet):
+        fleet.inject_fault("tx-0-1", 145.0, 900.0)
+        detector = FaultDetector(grid)
+        events = detector.scan_window(fleet, 0.0, 600.0)
+        delay = events[0].detected_at - 145.0
+        assert 0 <= delay <= fleet.interval
+
+    def test_feeder_fault_localised_to_feeder(self, grid, fleet):
+        fleet.inject_fault("feeder-1", 100.0, 900.0)
+        detector = FaultDetector(grid)
+        events = detector.scan_window(fleet, 0.0, 300.0)
+        assert [event.element for event in events] == ["feeder-1"]
+        assert events[0].kind == "feeder"
+
+    def test_persistent_fault_reported_once(self, grid, fleet):
+        fleet.inject_fault("tx-0-0", 100.0, 10_000.0)
+        detector = FaultDetector(grid)
+        events = detector.scan_window(fleet, 0.0, 1_000.0)
+        assert len(events) == 1
+
+    def test_two_simultaneous_faults(self, grid, fleet):
+        fleet.inject_fault("tx-0-0", 100.0, 900.0)
+        fleet.inject_fault("tx-1-1", 100.0, 900.0)
+        detector = FaultDetector(grid)
+        events = detector.scan_window(fleet, 0.0, 300.0)
+        assert {event.element for event in events} == {"tx-0-0", "tx-1-1"}
+
+    def test_restoration_then_new_fault_redetected(self, grid, fleet):
+        fleet.inject_fault("tx-0-0", 100.0, 200.0)
+        fleet.inject_fault("tx-0-0", 400.0, 500.0)
+        detector = FaultDetector(grid)
+        events = detector.scan_window(fleet, 0.0, 600.0)
+        assert len(events) == 2

@@ -1,0 +1,91 @@
+"""Theft detection under harder conditions: multiple thieves, drift."""
+
+import pytest
+
+from repro.sgx.platform import SgxPlatform
+from repro.smartgrid.meters import SmartMeterFleet
+from repro.smartgrid.theft import TheftDetector
+from repro.smartgrid.topology import GridTopology
+
+HOUR = 3600.0
+
+
+def build(seed=9):
+    grid = GridTopology.build(feeders=2, transformers_per_feeder=3,
+                              meters_per_transformer=5)
+    fleet = SmartMeterFleet(grid, seed=seed, interval=60.0)
+    detector = TheftDetector(grid, interval=60.0)
+    return grid, fleet, detector
+
+
+def windows(fleet):
+    baseline = fleet.readings_window(0.0, 1 * HOUR)
+    window = fleet.readings_window(1 * HOUR, 2 * HOUR)
+    measured = fleet.transformer_window(1 * HOUR, 2 * HOUR)
+    return baseline, window, measured
+
+
+class TestMultipleThieves:
+    def test_two_thieves_on_different_transformers(self):
+        _grid, fleet, detector = build()
+        fleet.inject_theft("meter-0-1-02", start=1 * HOUR, fraction=0.45)
+        fleet.inject_theft("meter-1-2-00", start=1 * HOUR, fraction=0.5)
+        baseline, window, measured = windows(fleet)
+        report = detector.detect(window, measured, baseline)
+        assert report.flagged_transformers == ["tx-0-1", "tx-1-2"]
+        assert report.suspects["tx-0-1"] == "meter-0-1-02"
+        assert report.suspects["tx-1-2"] == "meter-1-2-00"
+        precision, recall = report.score(fleet.theft_ground_truth)
+        assert precision == 1.0 and recall == 1.0
+
+    def test_two_thieves_same_transformer_primary_found(self):
+        """With one suspect per transformer, recall drops but precision
+        holds -- the report never accuses an innocent meter."""
+        _grid, fleet, detector = build()
+        fleet.inject_theft("meter-0-0-01", start=1 * HOUR, fraction=0.5)
+        fleet.inject_theft("meter-0-0-03", start=1 * HOUR, fraction=0.5)
+        baseline, window, measured = windows(fleet)
+        report = detector.detect(window, measured, baseline)
+        assert report.flagged_transformers == ["tx-0-0"]
+        suspect = report.suspects["tx-0-0"]
+        assert suspect in fleet.theft_ground_truth
+        precision, recall = report.score(fleet.theft_ground_truth)
+        assert precision == 1.0
+        assert recall == pytest.approx(0.5)
+
+    def test_theft_starting_mid_window_still_detected(self):
+        _grid, fleet, detector = build()
+        # Starts 15 minutes into the detection window at a high rate.
+        fleet.inject_theft("meter-0-1-02", start=1.25 * HOUR, fraction=0.8)
+        baseline, window, measured = windows(fleet)
+        report = detector.detect(window, measured, baseline)
+        assert "tx-0-1" in report.flagged_transformers
+
+    def test_secure_path_handles_multiple_thieves(self):
+        grid, fleet, _plain = build()
+        fleet.inject_theft("meter-0-1-02", start=1 * HOUR, fraction=0.45)
+        fleet.inject_theft("meter-1-2-00", start=1 * HOUR, fraction=0.5)
+        platform = SgxPlatform(seed=47, quoting_key_bits=512)
+        detector = TheftDetector(grid, interval=60.0, platform=platform)
+        baseline, window, measured = windows(fleet)
+        report = detector.detect(window, measured, baseline)
+        assert report.flagged_transformers == ["tx-0-1", "tx-1-2"]
+
+
+class TestRobustness:
+    def test_fault_during_window_not_misread_as_theft(self):
+        """A blackout removes load from both meters *and* the
+        transformer measurement, so loss stays near zero."""
+        _grid, fleet, detector = build()
+        fleet.inject_fault("tx-0-2", 1.2 * HOUR, 1.6 * HOUR)
+        baseline, window, measured = windows(fleet)
+        report = detector.detect(window, measured, baseline)
+        assert "tx-0-2" not in report.flagged_transformers
+
+    def test_voltage_sag_not_misread_as_theft(self):
+        _grid, fleet, detector = build()
+        fleet.inject_voltage_event("tx-0-2", 1.2 * HOUR, 1.4 * HOUR,
+                                   per_unit=0.85)
+        baseline, window, measured = windows(fleet)
+        report = detector.detect(window, measured, baseline)
+        assert "tx-0-2" not in report.flagged_transformers

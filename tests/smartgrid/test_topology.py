@@ -1,0 +1,91 @@
+"""Tests for the grid topology."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.smartgrid.topology import GridTopology
+
+
+@pytest.fixture()
+def grid():
+    return GridTopology.build(
+        feeders=2, transformers_per_feeder=2, meters_per_transformer=3
+    )
+
+
+class TestConstruction:
+    def test_regular_build_counts(self, grid):
+        assert len(grid.feeders) == 2
+        assert len(grid.transformers) == 4
+        assert len(grid.meters) == 12
+
+    def test_duplicate_rejected(self, grid):
+        with pytest.raises(ConfigurationError):
+            grid.add_feeder("feeder-0")
+
+    def test_unknown_parent_rejected(self):
+        topology = GridTopology()
+        with pytest.raises(ConfigurationError):
+            topology.add_transformer("tx", "no-such-feeder")
+
+    def test_kind_validation(self, grid):
+        with pytest.raises(ConfigurationError):
+            grid.add_meter("m", "feeder-0")  # meters attach to transformers
+        with pytest.raises(ConfigurationError):
+            grid.add_transformer("t", "tx-0-0")
+
+    def test_kind_of_unknown(self, grid):
+        with pytest.raises(ConfigurationError):
+            grid.kind_of("ghost")
+
+
+class TestQueries:
+    def test_parent_chain(self, grid):
+        meter = "meter-0-1-00"
+        assert grid.transformer_of(meter) == "tx-0-1"
+        assert grid.parent_of("tx-0-1") == "feeder-0"
+        assert grid.parent_of("feeder-0") == grid.substation
+        assert grid.parent_of(grid.substation) is None
+
+    def test_meters_under_transformer(self, grid):
+        meters = grid.meters_under("tx-1-0")
+        assert len(meters) == 3
+        assert all(meter.startswith("meter-1-0-") for meter in meters)
+
+    def test_meters_under_feeder(self, grid):
+        assert len(grid.meters_under("feeder-0")) == 6
+
+    def test_path_to(self, grid):
+        path = grid.path_to("meter-1-1-02")
+        assert path == [grid.substation, "feeder-1", "tx-1-1", "meter-1-1-02"]
+
+    def test_transformer_of_rejects_non_meter(self, grid):
+        with pytest.raises(ConfigurationError):
+            grid.transformer_of("tx-0-0")
+
+
+class TestCommonAncestor:
+    def test_same_transformer(self, grid):
+        assert (
+            grid.deepest_common_ancestor(["meter-0-0-00", "meter-0-0-01"])
+            == "tx-0-0"
+        )
+
+    def test_same_feeder(self, grid):
+        assert (
+            grid.deepest_common_ancestor(["meter-0-0-00", "meter-0-1-00"])
+            == "feeder-0"
+        )
+
+    def test_cross_feeder(self, grid):
+        assert (
+            grid.deepest_common_ancestor(["meter-0-0-00", "meter-1-0-00"])
+            == grid.substation
+        )
+
+    def test_single_element(self, grid):
+        assert grid.deepest_common_ancestor(["meter-0-0-00"]) == "meter-0-0-00"
+
+    def test_empty_rejected(self, grid):
+        with pytest.raises(ConfigurationError):
+            grid.deepest_common_ancestor([])

@@ -1,0 +1,37 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main, run_experiment
+
+
+class TestCli:
+    def test_list_covers_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in EXPERIMENTS:
+            assert experiment_id in output
+
+    def test_run_a2_prints_table(self, capsys):
+        assert main(["run", "a2"]) == 0
+        output = capsys.readouterr().out
+        assert "sync (exit per call)" in output
+        assert "async + user threads (SCONE)" in output
+
+    def test_run_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "zz"])
+
+    def test_run_experiment_returns_result(self):
+        rows = run_experiment("e2")
+        assert len(rows) == 3
+
+    def test_every_experiment_is_registered_with_callable(self):
+        import importlib
+
+        for experiment_id, (module_name, function_name, description) in (
+            EXPERIMENTS.items()
+        ):
+            module = importlib.import_module(module_name)
+            assert callable(getattr(module, function_name)), experiment_id
+            assert description
