@@ -1,0 +1,27 @@
+# Developer entry points for the SecureCloud reproduction.
+#
+# Every target runs from the repository root; PYTHONPATH=src makes the
+# repro package importable without an editable install.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-smoke experiments
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Full benchmark suite via pytest-benchmark; regenerates every table
+# under benchmarks/out/ (both .txt and .json artifacts).
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Fast CI smoke: every experiment runs once end-to-end; experiments
+# that support a reduced workload (e.g. a9) use it.  Fails loudly if
+# any benchmark path regresses.
+bench-smoke:
+	$(PYTHON) -m repro.cli smoke
+
+# Regenerate every paper table/figure through the CLI runner.
+experiments:
+	$(PYTHON) -m repro.cli run all

@@ -4,9 +4,13 @@ Every benchmark regenerates one table or figure of the paper's
 evaluation (see DESIGN.md section 4).  :func:`report` renders the
 series the paper reports both to stdout (visible with ``pytest -s`` and
 in the captured output) and to ``benchmarks/out/<experiment>.txt`` so a
-full run always leaves artifacts behind.
+full run always leaves artifacts behind.  A machine-readable twin,
+``benchmarks/out/<experiment>.json``, is written next to every table so
+tooling can track the performance trajectory across PRs without parsing
+aligned text.
 """
 
+import json
 import os
 
 _OUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
@@ -35,12 +39,35 @@ def format_table(title, header, rows, notes=()):
     return "\n".join(lines)
 
 
+def _json_payload(experiment_id, title, header, rows, notes):
+    return {
+        "experiment": experiment_id,
+        "title": title,
+        "header": list(header),
+        "rows": [list(row) for row in rows],
+        "notes": list(notes),
+    }
+
+
 def report(experiment_id, title, header, rows, notes=()):
-    """Print the experiment table and persist it under benchmarks/out/."""
+    """Print the experiment table and persist it under benchmarks/out/.
+
+    Writes both the human-readable ``<experiment_id>.txt`` and a
+    machine-readable ``<experiment_id>.json`` with the same rows.
+    """
     table = format_table(title, header, rows, notes)
     print("\n" + table + "\n")
     os.makedirs(_OUT_DIR, exist_ok=True)
     path = os.path.join(_OUT_DIR, "%s.txt" % experiment_id)
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(table + "\n")
+    json_path = os.path.join(_OUT_DIR, "%s.json" % experiment_id)
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(
+            _json_payload(experiment_id, title, header, rows, notes),
+            handle,
+            indent=2,
+            default=str,
+        )
+        handle.write("\n")
     return table

@@ -1,0 +1,192 @@
+"""A9 (ablation) -- crypto data-plane micro-throughput.
+
+Every sealed byte in the system (map/reduce splits and shuffle, FS
+shield chunks, shielded streams, bulk transfer, SCBR envelopes) flows
+through the HMAC-CTR keystream, the XOR pass, and the AEAD framing.
+This benchmark measures those paths in isolation, before vs. after the
+data-plane rework:
+
+- *seed* keystream: one ``hmac.new`` per 32-byte block, byte-by-byte
+  generator XOR (the implementation the repository seeded with);
+- *fused* compatible path: one HMAC context copied per block, big-int
+  XOR, and the fused ``keystream_xor`` helper (what single-record
+  ``Ciphertext`` uses -- wire format unchanged);
+- *XOF* batch path: single-call SHAKE-256 keystream + big-int XOR (what
+  the new ``SealedBatch`` framing uses);
+- per-record ``encrypt``/``decrypt`` vs. the batched ``SealedBatch``
+  framing for many small records (one nonce+tag per batch).
+"""
+
+import hashlib
+import hmac as _hmac
+import time
+
+from repro.crypto.aead import AeadKey, SealedBatch
+from repro.crypto.primitives import (
+    DeterministicRandomSource,
+    keystream,
+    keystream_xor,
+    xof_keystream,
+    xof_keystream_xor,
+    xor_bytes,
+)
+
+from benchmarks._harness import report
+
+
+# --- the seed implementations, kept verbatim as the baseline ---
+
+def _seed_keystream(key, nonce, length):
+    blocks = []
+    counter = 0
+    produced = 0
+    while produced < length:
+        block = _hmac.new(
+            key, nonce + counter.to_bytes(8, "big"), hashlib.sha256
+        ).digest()
+        blocks.append(block)
+        produced += len(block)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def _seed_xor(data, stream):
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+def _mb_per_second(nbytes, seconds):
+    return nbytes / 1e6 / max(seconds, 1e-12)
+
+
+def _time(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_a9(smoke=False):
+    """Measure seed vs. fused data-plane throughput; returns the rows."""
+    payload_size = 64 * 1024 if smoke else 1024 * 1024
+    record_count = 256 if smoke else 2048
+    record_size = 64
+    repeats = 1 if smoke else 3
+
+    source = DeterministicRandomSource(9)
+    key_bytes = source.bytes(32)
+    nonce = source.bytes(16)
+    data = source.bytes(payload_size)
+    records = [source.bytes(record_size) for _ in range(record_count)]
+    aead = AeadKey(key_bytes, random_source=source)
+
+    # Identical output first (the optimisation must be invisible).
+    assert keystream(key_bytes, nonce, 4096) == _seed_keystream(
+        key_bytes, nonce, 4096
+    )
+    assert keystream_xor(key_bytes, nonce, data[:4096]) == _seed_xor(
+        data[:4096], _seed_keystream(key_bytes, nonce, 4096)
+    )
+
+    seed_seconds = _time(
+        lambda: _seed_xor(data, _seed_keystream(key_bytes, nonce, len(data))),
+        repeats,
+    )
+    fused_seconds = _time(
+        lambda: keystream_xor(key_bytes, nonce, data), repeats
+    )
+    xof_seconds = _time(
+        lambda: xof_keystream_xor(key_bytes, nonce, data), repeats
+    )
+    ks_seconds = _time(lambda: keystream(key_bytes, nonce, len(data)), repeats)
+    xof_ks_seconds = _time(
+        lambda: xof_keystream(key_bytes, nonce, len(data)), repeats
+    )
+    stream = keystream(key_bytes, nonce, len(data))
+    xor_seconds = _time(lambda: xor_bytes(data, stream), repeats)
+    seed_xor_seconds = _time(lambda: _seed_xor(data, stream), repeats)
+
+    per_record_seconds = _time(
+        lambda: [aead.encrypt(record, aad=b"a9") for record in records], repeats
+    )
+    batch_seconds = _time(
+        lambda: aead.encrypt_batch(records, aad=b"a9"), repeats
+    )
+    record_bytes = record_count * record_size
+    per_record_wire = sum(
+        len(aead.encrypt(record, aad=b"a9")) for record in records
+    )
+    batch = aead.encrypt_batch(records, aad=b"a9")
+    assert aead.decrypt_batch(
+        SealedBatch.from_bytes(batch.to_bytes()), aad=b"a9"
+    ) == records
+    batch_wire = len(batch)
+
+    fused_speedup = seed_seconds / max(fused_seconds, 1e-12)
+    xof_speedup = seed_seconds / max(xof_seconds, 1e-12)
+    rows = [
+        ("keystream+xor, seed (MB/s)", _mb_per_second(len(data), seed_seconds)),
+        ("keystream+xor, fused hmac-ctr (MB/s)",
+         _mb_per_second(len(data), fused_seconds)),
+        ("keystream+xor, xof batch plane (MB/s)",
+         _mb_per_second(len(data), xof_seconds)),
+        ("hmac-ctr speedup vs seed", fused_speedup),
+        ("xof speedup vs seed", xof_speedup),
+        ("keystream alone, hmac-ctr (MB/s)", _mb_per_second(len(data), ks_seconds)),
+        ("keystream alone, xof (MB/s)", _mb_per_second(len(data), xof_ks_seconds)),
+        ("xor alone, seed (MB/s)", _mb_per_second(len(data), seed_xor_seconds)),
+        ("xor alone, big-int (MB/s)", _mb_per_second(len(data), xor_seconds)),
+        ("seal %d x %dB per-record (MB/s)" % (record_count, record_size),
+         _mb_per_second(record_bytes, per_record_seconds)),
+        ("seal %d x %dB batched (MB/s)" % (record_count, record_size),
+         _mb_per_second(record_bytes, batch_seconds)),
+        ("per-record wire bytes", per_record_wire),
+        ("batched wire bytes", batch_wire),
+        ("framing bytes saved", per_record_wire - batch_wire),
+    ]
+    if smoke:
+        # Smoke mode checks the path end-to-end but must not overwrite
+        # the full-workload artifact under benchmarks/out/.
+        return {
+            "rows": rows,
+            "fused_speedup": fused_speedup,
+            "xof_speedup": xof_speedup,
+            "payload_bytes": len(data),
+        }
+    report(
+        "a9_crypto_dataplane",
+        "A9: crypto data-plane throughput, seed vs. fused primitives",
+        ("quantity", "value"),
+        rows,
+        notes=(
+            "seed = hmac.new per 32B block + generator XOR;",
+            "fused hmac-ctr = copied HMAC context per block + big-int XOR",
+            "  (the wire-compatible single-record Ciphertext path);",
+            "xof = single-call SHAKE-256 stream + big-int XOR (the",
+            "  SealedBatch data plane); batched sealing pays one",
+            "  nonce+tag per batch, not per record",
+        ),
+    )
+    return {
+        "rows": rows,
+        "fused_speedup": fused_speedup,
+        "xof_speedup": xof_speedup,
+        "payload_bytes": len(data),
+    }
+
+
+def bench_a9_crypto_dataplane(benchmark):
+    outcome = run_a9()
+    # Acceptance: the batch-plane keystream+XOR path must be >= 10x the
+    # seed primitives; the compatible HMAC-CTR path must still improve.
+    assert outcome["xof_speedup"] >= 10.0
+    assert outcome["fused_speedup"] >= 1.5
+    source = DeterministicRandomSource(9)
+    key_bytes = source.bytes(32)
+    nonce = source.bytes(16)
+    data = source.bytes(outcome["payload_bytes"])
+
+    benchmark.pedantic(
+        lambda: xof_keystream_xor(key_bytes, nonce, data), rounds=3, iterations=1
+    )

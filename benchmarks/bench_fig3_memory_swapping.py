@@ -70,8 +70,11 @@ def _matching_time_ms(pool, publications, total_records, enclave):
     return cycles_to_seconds(cycles, clock.frequency_hz) * 1e3
 
 
-def run_figure3_sweep(db_sizes_mb=DB_SIZES_MB):
+def run_figure3_sweep(db_sizes_mb=DB_SIZES_MB, smoke=False):
     """Returns rows (db_mb, native_ms, enclave_ms, slowdown)."""
+    if smoke:
+        # CI smoke: exercise the full path on the two cheapest points.
+        db_sizes_mb = db_sizes_mb[:2]
     gc.disable()
     try:
         pool, publications = _subscription_pool()

@@ -66,6 +66,28 @@ class SecureTable:
             self._keys.add(key)
             self._store_manifest()
 
+    def put_many(self, items):
+        """Insert or overwrite many rows with one manifest update.
+
+        ``items`` is an iterable of ``(key, value)`` pairs.  ``put`` in a
+        loop re-seals the (growing) manifest after every new key --
+        quadratic in sealed bytes; this writes all rows first and seals
+        the manifest once.
+        """
+        added = False
+        for key, value in items:
+            if "/" in key:
+                raise ConfigurationError("row keys must not contain '/'")
+            path = _row_path(self.name, key)
+            if self.volume.exists(path):
+                self.volume.delete(path)
+            self.volume.write(path, value)
+            if key not in self._keys:
+                self._keys.add(key)
+                added = True
+        if added:
+            self._store_manifest()
+
     def get(self, key):
         """Read a row; raises for unknown keys."""
         if key not in self._keys:

@@ -1,18 +1,23 @@
 """Efficient transmission of large amounts of data.
 
-Bulk transfers chunk the payload, compress each chunk, seal it
-(AEAD with the position in the associated data, so the receiver
-detects loss, reordering, and truncation), and batch sealed chunks
-into network frames.  A :class:`SimulatedNetwork` charges virtual time
-per frame (latency + size/bandwidth), so benchmarks can report
-throughput and the compression/batching trade-offs.
+Bulk transfers chunk the payload, compress each chunk, and seal each
+*frame* of ``batch_size`` chunks as one
+:class:`~repro.crypto.aead.SealedBatch`: the chunks travel
+length-prefixed inside a single AEAD frame, so the 48-byte nonce+tag
+overhead and the MAC finalisation are paid per frame, not per chunk.
+The frame's associated data binds the transfer id, the frame index, the
+total frame count, and the compression flag, so the receiver detects
+loss, reordering, truncation, and cross-transfer replay.  A
+:class:`SimulatedNetwork` charges virtual time per frame
+(latency + size/bandwidth), so benchmarks can report throughput and the
+compression/batching trade-offs.
 """
 
 import zlib
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError, IntegrityError
-from repro.crypto.aead import Ciphertext
+from repro.crypto.aead import SealedBatch
 
 
 @dataclass
@@ -76,9 +81,9 @@ class BulkTransfer:
         self.compress = compress
         self.compression_level = compression_level
 
-    def _aad(self, index, total, transfer_id):
+    def _frame_aad(self, frame_index, frame_count, transfer_id):
         return b"bulk|%s|%d|%d|%d" % (
-            transfer_id, index, total, 1 if self.compress else 0
+            transfer_id, frame_index, frame_count, 1 if self.compress else 0
         )
 
     def send(self, payload, network, transfer_id=b"t0"):
@@ -87,34 +92,29 @@ class BulkTransfer:
             payload[offset : offset + self.chunk_size]
             for offset in range(0, len(payload), self.chunk_size)
         ] or [b""]
-        total = len(chunks)
-        compressed_total = 0
-        sealed = []
-        for index, chunk in enumerate(chunks):
-            body = (
-                zlib.compress(chunk, self.compression_level)
-                if self.compress
-                else chunk
-            )
-            compressed_total += len(body)
-            sealed.append(
-                self.key.encrypt(
-                    body, aad=self._aad(index, total, transfer_id)
-                ).to_bytes()
-            )
+        if self.compress:
+            bodies = [
+                zlib.compress(chunk, self.compression_level) for chunk in chunks
+            ]
+        else:
+            bodies = chunks
+        compressed_total = sum(len(body) for body in bodies)
+        batches = [
+            bodies[offset : offset + self.batch_size]
+            for offset in range(0, len(bodies), self.batch_size)
+        ]
         frames = []
         start = network.clock_seconds
-        for offset in range(0, len(sealed), self.batch_size):
-            batch = sealed[offset : offset + self.batch_size]
-            frame = b"".join(
-                len(blob).to_bytes(4, "big") + blob for blob in batch
-            )
+        for frame_index, batch in enumerate(batches):
+            frame = self.key.encrypt_batch(
+                batch, aad=self._frame_aad(frame_index, len(batches), transfer_id)
+            ).to_bytes()
             frames.append(network.send_frame(frame))
         stats = TransferStats(
             raw_bytes=len(payload),
             compressed_bytes=compressed_total,
             wire_bytes=sum(len(frame) for frame in frames),
-            chunks=total,
+            chunks=len(chunks),
             frames=len(frames),
             seconds=network.clock_seconds - start,
         )
@@ -122,30 +122,20 @@ class BulkTransfer:
 
     def receive(self, frames, transfer_id=b"t0"):
         """Verify, decrypt, decompress, and reassemble the payload."""
-        sealed = []
-        for frame in frames:
-            view = memoryview(frame)
-            while view:
-                if len(view) < 4:
-                    raise IntegrityError("truncated frame")
-                length = int.from_bytes(view[:4], "big")
-                view = view[4:]
-                if len(view) < length:
-                    raise IntegrityError("truncated chunk in frame")
-                sealed.append(bytes(view[:length]))
-                view = view[length:]
-        total = len(sealed)
-        chunks = []
-        for index, blob in enumerate(sealed):
+        bodies = []
+        for frame_index, frame in enumerate(frames):
             try:
-                body = self.key.decrypt(
-                    Ciphertext.from_bytes(blob),
-                    aad=self._aad(index, total, transfer_id),
-                )
+                batch = SealedBatch.from_bytes(frame)
+                bodies.extend(self.key.decrypt_batch(
+                    batch,
+                    aad=self._frame_aad(frame_index, len(frames), transfer_id),
+                ))
             except IntegrityError as exc:
                 raise IntegrityError(
-                    "bulk chunk %d failed authentication (tampered, "
-                    "reordered, or dropped)" % index
+                    "bulk frame %d failed authentication (tampered, "
+                    "reordered, or dropped)" % frame_index
                 ) from exc
-            chunks.append(zlib.decompress(body) if self.compress else body)
+        chunks = [
+            zlib.decompress(body) if self.compress else body for body in bodies
+        ]
         return b"".join(chunks)

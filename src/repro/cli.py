@@ -13,7 +13,9 @@ in the top-level ``benchmarks/`` package, next to ``src/``).
 
 import argparse
 import importlib
+import inspect
 import sys
+import time
 
 EXPERIMENTS = {
     "e1": ("benchmarks.bench_fig3_memory_swapping", "run_figure3_sweep",
@@ -44,6 +46,8 @@ EXPERIMENTS = {
            "GenPack monitoring ablation + crash injection"),
     "a8": ("benchmarks.bench_a8_paging_avoidance", "run_a8",
            "future work: paging-avoiding hot/cold matcher"),
+    "a9": ("benchmarks.bench_a9_crypto_dataplane", "run_a9",
+           "crypto data-plane throughput (seed vs. fused primitives)"),
 }
 
 
@@ -87,12 +91,35 @@ def _render(experiment_id, result):
         print("  %r" % (result,))
 
 
-def run_experiment(experiment_id):
-    """Execute one experiment and print its rows."""
+def run_experiment(experiment_id, smoke=False):
+    """Execute one experiment and print its rows.
+
+    With ``smoke=True``, experiments whose runner accepts a ``smoke``
+    keyword run their reduced workload; the rest run as-is.
+    """
     _module, function = _load(experiment_id)
-    result = function()
+    if smoke and "smoke" in inspect.signature(function).parameters:
+        result = function(smoke=True)
+    else:
+        result = function()
     _render(experiment_id, result)
     return result
+
+
+def run_smoke():
+    """Run every experiment once, fast where supported (CI smoke mode).
+
+    Any raised exception fails the smoke run, so a regression in any
+    benchmark path is caught without waiting for the full suite.
+    """
+    for experiment_id in sorted(EXPERIMENTS):
+        start = time.perf_counter()
+        run_experiment(experiment_id, smoke=True)
+        print(
+            "smoke %s ok (%.1fs)"
+            % (experiment_id, time.perf_counter() - start)
+        )
+    return 0
 
 
 def main(argv=None):
@@ -104,12 +131,17 @@ def main(argv=None):
     commands.add_parser("list", help="list experiment ids")
     runner = commands.add_parser("run", help="run one experiment (or 'all')")
     runner.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    commands.add_parser(
+        "smoke", help="run every experiment in fast smoke mode (CI)"
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.command == "list":
         for experiment_id in sorted(EXPERIMENTS):
             print("%-4s %s" % (experiment_id, EXPERIMENTS[experiment_id][2]))
         return 0
+    if arguments.command == "smoke":
+        return run_smoke()
     targets = (
         sorted(EXPERIMENTS)
         if arguments.experiment == "all"

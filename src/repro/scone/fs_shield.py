@@ -225,13 +225,21 @@ class ProtectedVolume:
         self.protection = protection if protection is not None else FsProtectionFile()
         self.chunk_size = chunk_size
         self.memory = memory
+        # Constructing an AeadKey derives two subkeys and a MAC context;
+        # per-file keys are stable, so pay that once per file, not per
+        # chunk operation.
+        self._key_cache = {}
 
     def _charge(self, nbytes):
         if self.memory is not None:
             self.memory.compute(int(nbytes * self._CRYPTO_CYCLES_PER_BYTE))
 
     def _chunk_key(self, entry):
-        return AeadKey(entry.key_bytes)
+        key = self._key_cache.get(entry.key_bytes)
+        if key is None:
+            key = AeadKey(entry.key_bytes)
+            self._key_cache[entry.key_bytes] = key
+        return key
 
     def _chunk_aad(self, path, index):
         # Binds each chunk to its (file, position); rollback needs no

@@ -4,10 +4,17 @@ SCONE transparently encrypts data flowing through stdin/stdout/stderr so
 the host OS sees only ciphertext.  Each stream direction has its own key
 (carried in the SCF) and a record counter, so the untrusted side cannot
 read, modify, reorder, replay, or drop records without detection.
+
+High-throughput writers can coalesce many chunks into one sealed record
+with :meth:`ShieldedStreamWriter.write_batch`: the chunks travel as one
+:class:`~repro.crypto.aead.SealedBatch` frame (one nonce, one tag, one
+keystream pass) under a single sequence number.  The reader recognises
+the batch framing transparently and yields the concatenated bytes, so
+stream semantics are unchanged.
 """
 
 from repro.errors import IntegrityError
-from repro.crypto.aead import Ciphertext
+from repro.crypto.aead import Ciphertext, SealedBatch
 
 
 class ShieldedStreamWriter:
@@ -30,6 +37,17 @@ class ShieldedStreamWriter:
     def write(self, data):
         """Encrypt ``data`` as the next record and hand it to the host."""
         record = self.key.encrypt(data, aad=self._aad()).to_bytes()
+        self._sequence += 1
+        self.transport.append(record)
+        return record
+
+    def write_batch(self, chunks):
+        """Seal many chunks as one record (one nonce+tag for the batch).
+
+        Consumes a single sequence number: the batch is one record on
+        the wire, ordered and replay-protected like any other.
+        """
+        record = self.key.encrypt_batch(list(chunks), aad=self._aad()).to_bytes()
         self._sequence += 1
         self.transport.append(record)
         return record
@@ -66,9 +84,22 @@ class ShieldedStreamReader:
         """Verify and decrypt one record (raises on any tampering)."""
         if self._closed:
             raise IntegrityError("records after authenticated end of stream")
-        ciphertext = Ciphertext.from_bytes(record)
         name = self.stream_name.encode("utf-8")
         data_aad = b"%s|%d" % (name, self._sequence)
+        if SealedBatch.is_batch(record):
+            try:
+                chunks = self.key.decrypt_batch(
+                    SealedBatch.from_bytes(record), aad=data_aad
+                )
+            except IntegrityError:
+                raise IntegrityError(
+                    "stream %s record %d failed authentication (tampered, "
+                    "reordered, replayed, or dropped)"
+                    % (self.stream_name, self._sequence)
+                ) from None
+            self._sequence += 1
+            return b"".join(chunks)
+        ciphertext = Ciphertext.from_bytes(record)
         try:
             plaintext = self.key.decrypt(ciphertext, aad=data_aad)
         except IntegrityError:

@@ -8,6 +8,8 @@ frequency matches the 2.6 GHz Xeon used by SCONE's evaluation so that
 converted latencies are directly comparable to published numbers.
 """
 
+import threading
+
 DEFAULT_FREQUENCY_HZ = 2_600_000_000
 
 
@@ -40,6 +42,10 @@ class CycleClock:
             raise ValueError("frequency_hz must be positive")
         self.frequency_hz = frequency_hz
         self._cycles = 0
+        # Charges arrive from worker threads (the parallel map/reduce
+        # driver runs ecalls concurrently); the read-modify-write must
+        # not interleave.
+        self._lock = threading.Lock()
 
     @property
     def now(self):
@@ -55,8 +61,9 @@ class CycleClock:
         """Advance the clock by ``cycles`` and return the new time."""
         if cycles < 0:
             raise ValueError("cannot charge a negative number of cycles")
-        self._cycles += int(cycles)
-        return self._cycles
+        with self._lock:
+            self._cycles += int(cycles)
+            return self._cycles
 
     def measure(self):
         """Return a :class:`CycleSpan` starting now, for scoped timing."""
@@ -64,7 +71,8 @@ class CycleClock:
 
     def reset(self):
         """Reset the clock to zero (intended for benchmark harnesses)."""
-        self._cycles = 0
+        with self._lock:
+            self._cycles = 0
 
 
 class CycleSpan:

@@ -25,6 +25,25 @@ class TestSecureTable:
         assert table.get("k") == b"longer-value-2"
         assert len(table) == 1
 
+    def test_put_many(self, volume):
+        table = SecureTable(volume, "meters")
+        table.put_many([("m%d" % i, b"v%d" % i) for i in range(20)])
+        assert len(table) == 20
+        assert table.get("m7") == b"v7"
+        # Reopening sees the single, final manifest.
+        reopened = SecureTable.open(volume, "meters")
+        assert reopened.keys() == table.keys()
+        assert reopened.verify()
+
+    def test_put_many_overwrites_and_validates(self, volume):
+        table = SecureTable(volume, "meters")
+        table.put("k", b"old")
+        table.put_many([("k", b"new"), ("j", b"other")])
+        assert table.get("k") == b"new"
+        assert len(table) == 2
+        with pytest.raises(ConfigurationError):
+            table.put_many([("bad/key", b"x")])
+
     def test_get_unknown(self, volume):
         with pytest.raises(ConfigurationError):
             SecureTable(volume, "t").get("ghost")

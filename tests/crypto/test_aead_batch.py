@@ -1,0 +1,160 @@
+"""Tests and property tests for the SealedBatch AEAD framing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IntegrityError
+from repro.crypto.aead import (
+    AeadKey,
+    Ciphertext,
+    KEY_SIZE,
+    NONCE_SIZE,
+    SealedBatch,
+    TAG_SIZE,
+)
+from repro.crypto.primitives import DeterministicRandomSource
+
+
+def deterministic_key(seed=0):
+    source = DeterministicRandomSource(seed)
+    return AeadKey(source.bytes(KEY_SIZE), random_source=source)
+
+
+class TestRoundTrip:
+    def test_basic(self):
+        key = deterministic_key()
+        payloads = [b"alpha", b"", b"gamma" * 100]
+        batch = key.encrypt_batch(payloads, aad=b"hdr")
+        assert key.decrypt_batch(batch, aad=b"hdr") == payloads
+
+    def test_empty_batch(self):
+        key = deterministic_key()
+        batch = key.encrypt_batch([])
+        assert key.decrypt_batch(batch) == []
+
+    def test_serialisation_round_trip(self):
+        key = deterministic_key()
+        batch = key.encrypt_batch([b"a", b"bb"], aad=b"x")
+        parsed = SealedBatch.from_bytes(batch.to_bytes())
+        assert parsed == batch
+        assert key.decrypt_batch(parsed, aad=b"x") == [b"a", b"bb"]
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.binary(max_size=256), max_size=16),
+        st.binary(max_size=32),
+    )
+    def test_batch_equals_per_record_round_trip(self, payloads, aad):
+        """decrypt_batch(encrypt_batch(...)) == [decrypt(encrypt(p))...]."""
+        key = deterministic_key()
+        batched = key.decrypt_batch(key.encrypt_batch(payloads, aad=aad), aad=aad)
+        per_record = [
+            key.decrypt(key.encrypt(payload, aad=aad), aad=aad)
+            for payload in payloads
+        ]
+        assert batched == per_record == payloads
+
+    def test_framing_amortised(self):
+        key = deterministic_key()
+        payloads = [b"x" * 16] * 100
+        batch_wire = len(key.encrypt_batch(payloads))
+        per_record_wire = sum(len(key.encrypt(p)) for p in payloads)
+        # One nonce+tag for the batch instead of one per record.
+        assert batch_wire < per_record_wire - 90 * (NONCE_SIZE + TAG_SIZE)
+
+
+class TestTamperDetection:
+    def test_flipped_body_bit(self):
+        key = deterministic_key()
+        batch = key.encrypt_batch([b"payload"])
+        evil = SealedBatch(
+            batch.nonce,
+            bytes([batch.body[0] ^ 1]) + batch.body[1:],
+            batch.tag,
+            batch.count,
+        )
+        with pytest.raises(IntegrityError):
+            key.decrypt_batch(evil)
+
+    def test_flipped_tag_bit(self):
+        key = deterministic_key()
+        batch = key.encrypt_batch([b"payload"])
+        evil = SealedBatch(
+            batch.nonce,
+            batch.body,
+            bytes([batch.tag[0] ^ 1]) + batch.tag[1:],
+            batch.count,
+        )
+        with pytest.raises(IntegrityError):
+            key.decrypt_batch(evil)
+
+    def test_tampered_count(self):
+        key = deterministic_key()
+        batch = key.encrypt_batch([b"a", b"b"])
+        evil = SealedBatch(batch.nonce, batch.body, batch.tag, 1)
+        with pytest.raises(IntegrityError):
+            key.decrypt_batch(evil)
+
+    def test_wrong_aad(self):
+        key = deterministic_key()
+        batch = key.encrypt_batch([b"payload"], aad=b"right")
+        with pytest.raises(IntegrityError):
+            key.decrypt_batch(batch, aad=b"wrong")
+
+    def test_wrong_key(self):
+        batch = deterministic_key(1).encrypt_batch([b"payload"])
+        with pytest.raises(IntegrityError):
+            deterministic_key(2).decrypt_batch(batch)
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(IntegrityError):
+            SealedBatch.from_bytes(b"SB1short")
+
+    def test_non_batch_blob_rejected(self):
+        with pytest.raises(IntegrityError):
+            SealedBatch.from_bytes(b"X" * 64)
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=0))
+    def test_any_wire_bitflip_detected(self, position):
+        key = deterministic_key()
+        batch = key.encrypt_batch([b"one", b"two", b"three"], aad=b"a")
+        raw = bytearray(batch.to_bytes())
+        raw[position % len(raw)] ^= 0x01
+        with pytest.raises(IntegrityError):
+            key.decrypt_batch(SealedBatch.from_bytes(bytes(raw)), aad=b"a")
+
+
+class TestDomainSeparation:
+    def test_batch_not_decryptable_as_ciphertext(self):
+        key = deterministic_key()
+        batch = key.encrypt_batch([b"payload"], aad=b"a")
+        as_single = Ciphertext(nonce=batch.nonce, body=batch.body, tag=batch.tag)
+        with pytest.raises(IntegrityError):
+            key.decrypt(as_single, aad=b"a")
+
+    def test_ciphertext_not_decryptable_as_batch(self):
+        key = deterministic_key()
+        single = key.encrypt(b"payload", aad=b"a")
+        as_batch = SealedBatch(
+            nonce=single.nonce, body=single.body, tag=single.tag, count=1
+        )
+        with pytest.raises(IntegrityError):
+            key.decrypt_batch(as_batch, aad=b"a")
+
+    def test_is_batch_discriminates(self):
+        key = deterministic_key()
+        assert SealedBatch.is_batch(key.encrypt_batch([b"x"]).to_bytes())
+        assert not SealedBatch.is_batch(key.encrypt(b"x").to_bytes())
+
+
+class TestKeyHashing:
+    def test_hash_not_derived_from_raw_key_bytes(self):
+        material = DeterministicRandomSource(0).bytes(KEY_SIZE)
+        key = AeadKey(material)
+        assert hash(key) != hash(material)
+        assert hash(key) == hash(AeadKey(material))
+
+    def test_usable_in_sets(self):
+        material = DeterministicRandomSource(0).bytes(KEY_SIZE)
+        assert len({AeadKey(material), AeadKey(material)}) == 1

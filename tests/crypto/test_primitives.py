@@ -3,14 +3,21 @@
 import pytest
 from hypothesis import given, strategies as st
 
+import hashlib
+import hmac
+
 from repro.crypto.primitives import (
     DeterministicRandomSource,
     SystemRandomSource,
     constant_time_equal,
+    hmac_context,
     hmac_sha256,
     keystream,
+    keystream_xor,
     sha256,
     sha256_hex,
+    xof_keystream,
+    xof_keystream_xor,
     xor_bytes,
 )
 
@@ -59,6 +66,70 @@ class TestKeystream:
     def test_xor_length_mismatch(self):
         with pytest.raises(ValueError):
             xor_bytes(b"ab", b"a")
+
+    def test_matches_seed_construction(self):
+        """The optimised keystream is byte-identical to HMAC(key, nonce||i)."""
+        key, nonce = b"compat-key", b"compat-nonce"
+        blocks = [
+            hmac.new(
+                key, nonce + counter.to_bytes(8, "big"), hashlib.sha256
+            ).digest()
+            for counter in range(4)
+        ]
+        assert keystream(key, nonce, 100) == b"".join(blocks)[:100]
+
+    @given(st.integers(0, 300), st.integers(0, 300))
+    def test_prefix_property_holds_for_any_lengths(self, a, b):
+        a, b = min(a, b), max(a, b)
+        assert keystream(b"k", b"n", a) == keystream(b"k", b"n", b)[:a]
+
+    @given(st.binary(max_size=512))
+    def test_keystream_xor_fused_equals_unfused(self, data):
+        fused = keystream_xor(b"k", b"n", data)
+        assert fused == xor_bytes(data, keystream(b"k", b"n", len(data)))
+        assert keystream_xor(b"k", b"n", fused) == data
+
+
+class TestXofKeystream:
+    def test_deterministic(self):
+        assert xof_keystream(b"k", b"n", 100) == xof_keystream(b"k", b"n", 100)
+
+    def test_key_and_nonce_sensitivity(self):
+        assert xof_keystream(b"k1", b"n", 64) != xof_keystream(b"k2", b"n", 64)
+        assert xof_keystream(b"k", b"n1", 64) != xof_keystream(b"k", b"n2", 64)
+
+    def test_differs_from_hmac_ctr(self):
+        assert xof_keystream(b"k", b"n", 64) != keystream(b"k", b"n", 64)
+
+    @given(st.integers(0, 300), st.integers(0, 300))
+    def test_prefix_property(self, a, b):
+        a, b = min(a, b), max(a, b)
+        assert xof_keystream(b"k", b"n", a) == xof_keystream(b"k", b"n", b)[:a]
+
+    def test_zero_length(self):
+        assert xof_keystream(b"k", b"n", 0) == b""
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            xof_keystream(b"k", b"n", -1)
+
+    @given(st.binary(max_size=512))
+    def test_xor_involution(self, data):
+        once = xof_keystream_xor(b"key", b"nonce", data)
+        assert xof_keystream_xor(b"key", b"nonce", once) == data
+
+    def test_key_length_framed(self):
+        """key||nonce boundary is unambiguous (no concatenation aliasing)."""
+        assert xof_keystream(b"ab", b"c", 32) != xof_keystream(b"a", b"bc", 32)
+
+
+class TestHmacContext:
+    def test_copy_equals_fresh_hmac(self):
+        base = hmac_context(b"secret")
+        for message in (b"", b"a", b"hello world" * 10):
+            ctx = base.copy()
+            ctx.update(message)
+            assert ctx.digest() == hmac_sha256(b"secret", message)
 
 
 class TestRandomSources:

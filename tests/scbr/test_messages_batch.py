@@ -1,0 +1,64 @@
+"""Tests for batched SCBR envelopes."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.crypto.aead import AeadKey
+from repro.crypto.primitives import DeterministicRandomSource
+from repro.scbr.messages import EncryptedEnvelope
+
+
+def key(seed=0):
+    source = DeterministicRandomSource(seed)
+    return AeadKey(source.bytes(32), random_source=source)
+
+
+class TestBatchEnvelopes:
+    def test_round_trip(self):
+        k = key()
+        messages = [b"pub-1", b"pub-2", b"pub-3"]
+        envelope = EncryptedEnvelope.seal_batch(k, "client-a", "pub", messages)
+        assert envelope.open_batch(k) == messages
+
+    def test_bound_to_sender(self):
+        k = key()
+        envelope = EncryptedEnvelope.seal_batch(k, "client-a", "pub", [b"m"])
+        forged = EncryptedEnvelope("client-b", "pub", envelope.blob)
+        with pytest.raises(IntegrityError):
+            forged.open_batch(k)
+
+    def test_bound_to_kind(self):
+        k = key()
+        envelope = EncryptedEnvelope.seal_batch(k, "client-a", "pub", [b"m"])
+        forged = EncryptedEnvelope("client-a", "sub", envelope.blob)
+        with pytest.raises(IntegrityError):
+            forged.open_batch(k)
+
+    def test_wrong_key_rejected(self):
+        envelope = EncryptedEnvelope.seal_batch(key(1), "c", "pub", [b"m"])
+        with pytest.raises(IntegrityError):
+            envelope.open_batch(key(2))
+
+    def test_plaintext_not_on_wire(self):
+        envelope = EncryptedEnvelope.seal_batch(
+            key(), "c", "pub", [b"TOP-SECRET-PAYLOAD"]
+        )
+        assert b"TOP-SECRET-PAYLOAD" not in envelope.blob
+
+    def test_batch_framing_amortised(self):
+        k = key()
+        messages = [b"m" * 32] * 50
+        batch = EncryptedEnvelope.seal_batch(k, "c", "pub", messages)
+        singles = [EncryptedEnvelope.seal(k, "c", "pub", m) for m in messages]
+        assert len(batch.blob) < sum(len(e.blob) for e in singles)
+
+    def test_aad_matches_single_envelope_binding(self):
+        """Batch and single envelopes share the (sender, kind) AAD scheme."""
+        k = key()
+        single = EncryptedEnvelope.seal(k, "c", "pub", b"m")
+        assert single.open(k) == b"m"
+        batch = EncryptedEnvelope.seal_batch(k, "c", "pub", [b"m"])
+        assert batch.open_batch(k) == [b"m"]
+        # A batch blob cannot be opened as a single envelope.
+        with pytest.raises(IntegrityError):
+            EncryptedEnvelope("c", "pub", batch.blob).open(k)

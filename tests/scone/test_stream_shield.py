@@ -96,3 +96,60 @@ class TestStreams:
         writer.write(b"a")
         writer.write(b"b")
         assert writer.records_written == 2
+
+
+class TestBatchedRecords:
+    def test_round_trip(self):
+        writer, reader, _transport = pair()
+        writer.write_batch([b"one ", b"two ", b"three"])
+        writer.close()
+        assert reader.drain() == b"one two three"
+        assert reader.closed
+
+    def test_batch_consumes_one_sequence_number(self):
+        writer, reader, _transport = pair()
+        writer.write_batch([b"a", b"b"])
+        writer.write(b"c")
+        writer.close()
+        assert writer.records_written == 2
+        assert reader.drain() == b"abc"
+
+    def test_batch_is_ciphertext_on_wire(self):
+        writer, _reader, transport = pair()
+        writer.write_batch([b"SECRET-ONE", b"SECRET-TWO"])
+        assert b"SECRET-ONE" not in transport[0]
+        assert b"SECRET-TWO" not in transport[0]
+
+    def test_tampered_batch_detected(self):
+        writer, reader, transport = pair()
+        writer.write_batch([b"data", b"more"])
+        blob = bytearray(transport[0])
+        blob[-1] ^= 1
+        with pytest.raises(IntegrityError):
+            reader.read_record(bytes(blob))
+
+    def test_reordered_batches_detected(self):
+        writer, reader, transport = pair()
+        writer.write_batch([b"first"])
+        writer.write_batch([b"second"])
+        transport.reverse()
+        with pytest.raises(IntegrityError):
+            reader.drain()
+
+    def test_replayed_batch_detected(self):
+        writer, reader, transport = pair()
+        writer.write_batch([b"once"])
+        record = transport[0]
+        assert reader.read_record(record) == b"once"
+        with pytest.raises(IntegrityError):
+            reader.read_record(record)
+
+    def test_mixed_batch_and_single_framing_amortised(self):
+        chunks = [b"x" * 32] * 64
+        batch_writer, batch_reader, batch_transport = pair()
+        batch_writer.write_batch(chunks)
+        single_writer, _reader, single_transport = pair()
+        for chunk in chunks:
+            single_writer.write(chunk)
+        assert sum(map(len, batch_transport)) < sum(map(len, single_transport))
+        assert batch_reader.read_record(batch_transport[0]) == b"".join(chunks)
