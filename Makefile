@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke experiments
+.PHONY: test bench bench-smoke chaos-smoke experiments
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +21,11 @@ bench:
 # any benchmark path regresses.
 bench-smoke:
 	$(PYTHON) -m repro.cli smoke
+
+# Smoke run plus the chaos determinism gate: the E5 fault-injection
+# scenarios must produce identical results across two same-seed runs.
+chaos-smoke:
+	$(PYTHON) -m repro.cli smoke --chaos
 
 # Regenerate every paper table/figure through the CLI runner.
 experiments:

@@ -49,25 +49,43 @@ def _json_payload(experiment_id, title, header, rows, notes):
     }
 
 
+def _write_atomic(path, text):
+    """Write ``text`` to ``path`` all-or-nothing.
+
+    The bytes land in a temporary sibling first and move into place
+    with :func:`os.replace`, so an interrupted run never leaves a
+    truncated artifact shadowing a previous complete one.
+    """
+    tmp_path = path + ".tmp"
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+
+
 def report(experiment_id, title, header, rows, notes=()):
     """Print the experiment table and persist it under benchmarks/out/.
 
     Writes both the human-readable ``<experiment_id>.txt`` and a
-    machine-readable ``<experiment_id>.json`` with the same rows.
+    machine-readable ``<experiment_id>.json`` with the same rows.  Both
+    payloads are fully serialised before the first byte is written, and
+    each file is replaced atomically -- a benchmark that raises mid-run
+    (or a crash mid-dump) cannot leave a partial ``.txt`` next to a
+    stale ``.json``.
     """
     table = format_table(title, header, rows, notes)
+    payload = json.dumps(
+        _json_payload(experiment_id, title, header, rows, notes),
+        indent=2,
+        default=str,
+    )
     print("\n" + table + "\n")
     os.makedirs(_OUT_DIR, exist_ok=True)
-    path = os.path.join(_OUT_DIR, "%s.txt" % experiment_id)
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(table + "\n")
-    json_path = os.path.join(_OUT_DIR, "%s.json" % experiment_id)
-    with open(json_path, "w", encoding="utf-8") as handle:
-        json.dump(
-            _json_payload(experiment_id, title, header, rows, notes),
-            handle,
-            indent=2,
-            default=str,
-        )
-        handle.write("\n")
+    _write_atomic(os.path.join(_OUT_DIR, "%s.txt" % experiment_id), table + "\n")
+    _write_atomic(
+        os.path.join(_OUT_DIR, "%s.json" % experiment_id), payload + "\n"
+    )
     return table

@@ -6,11 +6,21 @@ and swap protection all come from the SCONE FS shield underneath.  The
 table keeps a *manifest row* listing its keys, so `scan` results are
 themselves authenticated -- a malicious store cannot hide rows from a
 range scan without breaking the manifest's MAC.
+
+The untrusted store may also simply *fail* for a while (the chaos
+layer's :class:`~repro.chaos.ChaosVolume` injects exactly that).  With
+a ``retry_policy``, every volume I/O retries
+:class:`~repro.errors.TransientError` with exponential backoff in
+virtual time; row writes are idempotent (write-over, manifest sealed
+once), so a retried or resumed ``put_many`` never corrupts the table.
+Integrity failures are never retried -- tampering is an attack, not a
+hiccup.
 """
 
 import json
 
 from repro.errors import ConfigurationError, IntegrityError
+from repro.retry import BackoffClock, retry_call
 
 
 def _row_path(table, key):
@@ -24,18 +34,44 @@ def _manifest_path(table):
 class SecureTable:
     """Key-value rows with authenticated membership."""
 
-    def __init__(self, volume, name):
+    def __init__(self, volume, name, retry_policy=None):
         if "/" in name or name.startswith("."):
             raise ConfigurationError("invalid table name %r" % name)
         self.volume = volume
         self.name = name
+        self.retry_policy = retry_policy
+        self.backoff = BackoffClock()
+        self.retries = 0
         self._keys = self._load_manifest()
+
+    def _io(self, operation, *args):
+        """Run one volume call, retrying transient storage failures.
+
+        Without a policy the call goes straight through (zero overhead
+        on the happy path).  With one, ``TransientError`` -- e.g. an
+        injected :class:`~repro.errors.StorageUnavailableError` -- is
+        retried with exponential backoff charged to ``self.backoff``;
+        ``IntegrityError`` is fatal and propagates on the first raise.
+        """
+        bound = getattr(self.volume, operation)
+        if self.retry_policy is None:
+            return bound(*args)
+
+        def count_retry(attempt, exc, delay):
+            self.retries += 1
+
+        return retry_call(
+            lambda attempt: bound(*args),
+            policy=self.retry_policy,
+            clock=self.backoff,
+            on_retry=count_retry,
+        )
 
     def _load_manifest(self):
         path = _manifest_path(self.name)
         if not self.volume.exists(path):
             return set()
-        raw = self.volume.read_all(path)
+        raw = self._io("read_all", path)
         try:
             return set(json.loads(raw.decode("utf-8")))
         except ValueError as exc:
@@ -45,8 +81,8 @@ class SecureTable:
         path = _manifest_path(self.name)
         payload = json.dumps(sorted(self._keys)).encode("utf-8")
         if self.volume.exists(path):
-            self.volume.delete(path)
-        self.volume.write(path, payload)
+            self._io("delete", path)
+        self._io("write", path, payload)
 
     def __len__(self):
         return len(self._keys)
@@ -55,13 +91,13 @@ class SecureTable:
         return key in self._keys
 
     def put(self, key, value):
-        """Insert or overwrite a row."""
+        """Insert or overwrite a row (idempotent: safe to re-run)."""
         if "/" in key:
             raise ConfigurationError("row keys must not contain '/'")
         path = _row_path(self.name, key)
         if self.volume.exists(path):
-            self.volume.delete(path)
-        self.volume.write(path, value)
+            self._io("delete", path)
+        self._io("write", path, value)
         if key not in self._keys:
             self._keys.add(key)
             self._store_manifest()
@@ -72,7 +108,10 @@ class SecureTable:
         ``items`` is an iterable of ``(key, value)`` pairs.  ``put`` in a
         loop re-seals the (growing) manifest after every new key --
         quadratic in sealed bytes; this writes all rows first and seals
-        the manifest once.
+        the manifest once.  The manifest seal comes last, so a run that
+        dies mid-way leaves only unregistered row files; re-running the
+        same ``put_many`` overwrites them and completes the manifest --
+        idempotent resume.
         """
         added = False
         for key, value in items:
@@ -80,8 +119,8 @@ class SecureTable:
                 raise ConfigurationError("row keys must not contain '/'")
             path = _row_path(self.name, key)
             if self.volume.exists(path):
-                self.volume.delete(path)
-            self.volume.write(path, value)
+                self._io("delete", path)
+            self._io("write", path, value)
             if key not in self._keys:
                 self._keys.add(key)
                 added = True
@@ -94,13 +133,13 @@ class SecureTable:
             raise ConfigurationError(
                 "no row %r in table %s" % (key, self.name)
             )
-        return self.volume.read_all(_row_path(self.name, key))
+        return self._io("read_all", _row_path(self.name, key))
 
     def delete(self, key):
         """Remove a row."""
         if key not in self._keys:
             return
-        self.volume.delete(_row_path(self.name, key))
+        self._io("delete", _row_path(self.name, key))
         self._keys.discard(key)
         self._store_manifest()
 
@@ -123,6 +162,6 @@ class SecureTable:
         return True
 
     @classmethod
-    def open(cls, volume, name):
+    def open(cls, volume, name, retry_policy=None):
         """Open an existing (or new) table on a volume."""
-        return cls(volume, name)
+        return cls(volume, name, retry_policy=retry_policy)

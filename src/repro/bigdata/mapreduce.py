@@ -18,16 +18,31 @@ GIL, so threads overlap the crypto work of independent tasks.
 The plain reference implementation (:func:`plain_mapreduce`) defines
 the semantics; the property tests assert the secure engine computes the
 same function.
+
+Failure recovery: the driver checkpoints each completed task's *sealed*
+output (map partitions per split, reduce output per partition) into a
+:class:`MapReduceCheckpoint` -- untrusted-safe, since everything in it
+is ciphertext under the job key.  A worker crash
+(:class:`~repro.errors.WorkerCrashError`, whether injected by the chaos
+layer or surfaced by a dead enclave) is retried on a freshly loaded --
+and, when an attestation service is configured, re-attested -- worker
+with exponential backoff in virtual time; after the retry budget the
+job fails cleanly with one :class:`~repro.errors.RetryExhaustedError`,
+and a later run against the same checkpoint resumes from the completed
+splits instead of starting over.
 """
 
 import json
+import threading
 from collections import defaultdict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import Optional
 
-from repro.errors import ConfigurationError, IntegrityError
+from repro.errors import ConfigurationError, IntegrityError, WorkerCrashError
 from repro.crypto.aead import AeadKey, SealedBatch
 from repro.crypto.primitives import hmac_sha256
+from repro.retry import BackoffClock, RetryPolicy, retry_call
 from repro.sgx.enclave import EnclaveCode
 
 
@@ -56,7 +71,7 @@ class MapReduceJob:
     reduce_fn: object
     mappers: int = 4
     reducers: int = 2
-    combiner_fn: object = None
+    combiner_fn: Optional[object] = None
 
     def __post_init__(self):
         if self.mappers < 1 or self.reducers < 1:
@@ -165,6 +180,58 @@ WORKER_ENTRY_POINTS = {
 WORKER_CODE = EnclaveCode("mapreduce-worker", WORKER_ENTRY_POINTS)
 
 
+class MapReduceCheckpoint:
+    """Sealed intermediate results of a job, safe on untrusted storage.
+
+    Holds the map phase's sealed shuffle partitions per input split and
+    the reduce phase's sealed outputs per partition.  All values are
+    AEAD ciphertext under the job key, so the checkpoint leaks nothing
+    beyond sizes; tampering is caught when a blob is opened.  A
+    checkpoint is bound to one job key fingerprint -- resuming a
+    different job against it is a configuration error, not silent
+    garbage.
+    """
+
+    def __init__(self):
+        self.map_outputs = {}      # split_index -> {partition: sealed blob}
+        self.reduce_outputs = {}   # partition -> sealed output blob
+        self.job_tag = None
+
+    def bind(self, job_tag):
+        """Associate (or re-verify) the owning job's key fingerprint."""
+        if self.job_tag is None:
+            self.job_tag = job_tag
+        elif self.job_tag != job_tag:
+            raise ConfigurationError(
+                "checkpoint belongs to job %s, not %s"
+                % (self.job_tag, job_tag)
+            )
+
+    def record_map(self, split_index, partitions):
+        """Store the sealed shuffle partitions of a completed map task."""
+        self.map_outputs[split_index] = dict(partitions)
+
+    def record_reduce(self, partition, blob):
+        """Store the sealed output of a completed reduce task."""
+        self.reduce_outputs[partition] = blob
+
+    @property
+    def completed_splits(self):
+        """Input splits whose map output is already checkpointed."""
+        return sorted(self.map_outputs)
+
+    @property
+    def stored_bytes(self):
+        """Total sealed bytes held by the checkpoint."""
+        total = sum(
+            len(blob)
+            for partitions in self.map_outputs.values()
+            for blob in partitions.values()
+        )
+        total += sum(len(blob) for blob in self.reduce_outputs.values())
+        return total
+
+
 class SecureMapReduce:
     """The untrusted driver: splits, schedules, shuffles -- all sealed.
 
@@ -175,26 +242,84 @@ class SecureMapReduce:
     measured deployment.)
     """
 
-    def __init__(self, platform, job, attestation_service=None):
+    def __init__(self, platform, job, attestation_service=None,
+                 chaos=None, retry_policy=None, job_key=None):
+        """``chaos`` (a :class:`~repro.chaos.ChaosInjector`) injects
+        worker crashes; ``retry_policy`` bounds re-execution of crashed
+        tasks (default: crashes propagate, matching the seed
+        behaviour).  ``job_key`` lets a restarted driver reuse a prior
+        job's key so it can resume that job's checkpoint."""
         self.platform = platform
         self.job = job
-        self.job_key = AeadKey.generate()
+        self.job_key = job_key if job_key is not None else AeadKey.generate()
+        self.chaos = chaos
+        self.retry_policy = retry_policy
+        self._attestation_service = attestation_service
         self._mappers = [
-            platform.load_enclave(WORKER_CODE, name="mapper-%d" % i)
-            for i in range(job.mappers)
+            self._spawn_worker("mapper-%d" % i) for i in range(job.mappers)
         ]
         self._reducers = [
-            platform.load_enclave(WORKER_CODE, name="reducer-%d" % i)
-            for i in range(job.reducers)
+            self._spawn_worker("reducer-%d" % i) for i in range(job.reducers)
         ]
-        for enclave in self._mappers + self._reducers:
-            if attestation_service is not None:
-                quote = platform.quote(enclave, report_data=b"mapreduce-join")
-                attestation_service.verify(
-                    quote, expected_measurement=WORKER_CODE.measurement
-                )
-            enclave.ecall("init", self.job_key.key_bytes.hex(), job.reducers)
         self.sealed_bytes_moved = 0
+        self.backoff = BackoffClock()
+        self.recoveries = []
+        self.crashes_detected = 0
+        self.splits_resumed = 0
+        self._recovery_lock = threading.Lock()
+
+    def _spawn_worker(self, name):
+        """Load, (re-)attest, and provision one worker enclave."""
+        enclave = self.platform.load_enclave(WORKER_CODE, name=name)
+        if self._attestation_service is not None:
+            quote = self.platform.quote(enclave, report_data=b"mapreduce-join")
+            self._attestation_service.verify(
+                quote, expected_measurement=WORKER_CODE.measurement
+            )
+        enclave.ecall("init", self.job_key.key_bytes.hex(), self.job.reducers)
+        return enclave
+
+    def _run_task(self, role, index, enclaves, ecall_args, crash_check):
+        """Execute one task with bounded retry on worker crashes.
+
+        ``enclaves`` is the role's worker list; on recovery the crashed
+        slot is replaced by a freshly loaded, re-attested worker (each
+        task owns its slot, so concurrent tasks never race).  Backoff
+        is charged to the shared virtual clock and every recovery
+        episode is recorded for the E5 latency report.
+        """
+        task_name = "%s-%d" % (role, index)
+        task_backoff = BackoffClock()
+
+        def attempt_once(attempt):
+            if crash_check is not None and crash_check(index, attempt):
+                raise WorkerCrashError(
+                    "%s crashed (attempt %d)" % (task_name, attempt)
+                )
+            # A destroyed enclave raises EnclaveLostError (transient),
+            # which the retry loop converts into a respawned worker.
+            return enclaves[index].ecall(*ecall_args)
+
+        def on_retry(attempt, error, delay):
+            task_backoff.sleep(delay)
+            enclaves[index] = self._spawn_worker(
+                "%s-retry%d" % (task_name, attempt)
+            )
+            with self._recovery_lock:
+                self.crashes_detected += 1
+                self.backoff.sleep(delay)
+
+        if self.retry_policy is None:
+            return attempt_once(1)
+        result = retry_call(attempt_once, self.retry_policy, on_retry=on_retry)
+        if task_backoff.sleeps:
+            with self._recovery_lock:
+                self.recoveries.append({
+                    "task": task_name,
+                    "attempts": task_backoff.sleeps + 1,
+                    "backoff_seconds": task_backoff.seconds,
+                })
+        return result
 
     def _splits(self, records):
         """Non-empty record splits, at most ``job.mappers`` of them.
@@ -212,9 +337,18 @@ class SecureMapReduce:
             if split:
                 yield split
 
-    def run(self, records):
-        """Execute the job; returns ``{repr(key): reduced_value}``."""
+    def run(self, records, checkpoint=None):
+        """Execute the job; returns ``{repr(key): reduced_value}``.
+
+        With ``checkpoint`` (a :class:`MapReduceCheckpoint`), completed
+        tasks' sealed outputs are recorded as the job progresses and
+        already-checkpointed tasks are skipped -- a driver that died
+        mid-job resumes instead of recomputing, and a job that failed
+        cleanly after exhausting retries keeps its finished splits.
+        """
         records = list(records)
+        if checkpoint is not None:
+            checkpoint.bind(self.job_key.fingerprint())
         # 1. Seal input splits (driver holds them only encrypted; the
         #    sealing itself happens at the data owner / ingestion side,
         #    modelled by using the job key here).
@@ -224,35 +358,65 @@ class SecureMapReduce:
         ]
         # 2. Map phase: every mapper's ecall runs on its own thread;
         #    results are merged on the driver thread so the
-        #    sealed_bytes_moved accounting never races.
-        map_tasks = list(zip(self._mappers, sealed_splits))
-        shuffle_bins = defaultdict(list)
-        if map_tasks:
-            with ThreadPoolExecutor(max_workers=len(map_tasks)) as pool:
-                partition_maps = list(pool.map(
-                    lambda task: task[0].ecall(
-                        "map", self.job.map_fn, task[1], self.job.combiner_fn
-                    ),
-                    map_tasks,
-                ))
-            for partitions in partition_maps:
-                for partition, blob in partitions.items():
-                    self.sealed_bytes_moved += len(blob)
-                    shuffle_bins[partition].append(blob)
-        # 3. Reduce phase, same pattern: concurrent ecalls, serial merge.
-        reduce_tasks = [
-            (enclave, shuffle_bins.get(partition, []))
-            for partition, enclave in enumerate(self._reducers)
+        #    sealed_bytes_moved accounting never races.  Crashed tasks
+        #    are retried per the retry policy; completed tasks are
+        #    checkpointed and skipped on resume.
+        crash_check = self.chaos.mapper_crashes if self.chaos else None
+        done = checkpoint.map_outputs if checkpoint is not None else {}
+        pending = [
+            (index, sealed)
+            for index, sealed in enumerate(sealed_splits)
+            if index not in done
         ]
-        with ThreadPoolExecutor(max_workers=len(reduce_tasks)) as pool:
-            output_blobs = list(pool.map(
-                lambda task: task[0].ecall(
-                    "reduce", self.job.reduce_fn, task[1]
-                ),
-                reduce_tasks,
-            ))
+        self.splits_resumed += len(sealed_splits) - len(pending)
+
+        def run_map(task):
+            index, sealed = task
+            return index, self._run_task(
+                "map", index, self._mappers,
+                ("map", self.job.map_fn, sealed, self.job.combiner_fn),
+                crash_check,
+            )
+
+        partition_maps = dict(done)
+        if pending:
+            with ThreadPoolExecutor(max_workers=len(pending)) as pool:
+                for index, partitions in pool.map(run_map, pending):
+                    partition_maps[index] = partitions
+                    if checkpoint is not None:
+                        checkpoint.record_map(index, partitions)
+        shuffle_bins = defaultdict(list)
+        for index in sorted(partition_maps):
+            for partition, blob in partition_maps[index].items():
+                self.sealed_bytes_moved += len(blob)
+                shuffle_bins[partition].append(blob)
+        # 3. Reduce phase, same pattern: concurrent ecalls, serial
+        #    merge, bounded re-execution, per-partition checkpoints.
+        crash_check = self.chaos.reducer_crashes if self.chaos else None
+        reduce_done = checkpoint.reduce_outputs if checkpoint is not None else {}
+        reduce_pending = [
+            partition for partition in range(self.job.reducers)
+            if partition not in reduce_done
+        ]
+
+        def run_reduce(partition):
+            return partition, self._run_task(
+                "reduce", partition, self._reducers,
+                ("reduce", self.job.reduce_fn,
+                 shuffle_bins.get(partition, [])),
+                crash_check,
+            )
+
+        output_blobs = dict(reduce_done)
+        if reduce_pending:
+            with ThreadPoolExecutor(max_workers=len(reduce_pending)) as pool:
+                for partition, blob in pool.map(run_reduce, reduce_pending):
+                    output_blobs[partition] = blob
+                    if checkpoint is not None:
+                        checkpoint.record_reduce(partition, blob)
         merged = {}
-        for output_blob in output_blobs:
+        for partition in sorted(output_blobs):
+            output_blob = output_blobs[partition]
             self.sealed_bytes_moved += len(output_blob)
             for key_repr, value in _open_batch(
                 self.job_key, b"output", output_blob

@@ -1,0 +1,238 @@
+"""Seeded, order-independent fault injection.
+
+The injector answers one kind of question -- "does fault *F* strike
+coordinate *C* on attempt *A*?" -- by hashing the experiment seed with
+the fault kind and coordinates (:func:`repro.sim.rng.derive_seed`) and
+comparing a single uniform draw against the configured rate.  Because
+every decision is a pure function of ``(seed, kind, coordinates)``, the
+same seed yields the *same faults* regardless of thread scheduling or
+call order: the parallel map/reduce driver can ask from worker threads
+and two runs still produce identical injection logs, which is what the
+chaos determinism check in ``repro.cli smoke --chaos`` asserts.
+
+Including the attempt number in the coordinates is what makes recovery
+terminate: a frame corrupted on attempt 0 is an independent draw on
+attempt 1, so with rate < 1 a bounded retry budget converges.
+"""
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomStream, derive_seed
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Fault rates (all probabilities in [0, 1]) and the chaos seed."""
+
+    seed: int = 0
+    # Map/reduce worker crashes, per (task, attempt).
+    mapper_crash_rate: float = 0.0
+    reducer_crash_rate: float = 0.0
+    # Event-bus message faults, per (topic, sequence, attempt).
+    message_drop_rate: float = 0.0
+    message_duplicate_rate: float = 0.0
+    message_delay_rate: float = 0.0
+    message_delay_max: float = 0.002     # extra virtual seconds
+    # Broker-plane faults.
+    notification_drop_rate: float = 0.0  # per (subscriber, sequence)
+    # Transfer-stream corruption, per (transfer, frame, attempt).
+    frame_corruption_rate: float = 0.0
+    # Untrusted-store hiccups, per (operation, path, attempt).
+    storage_failure_rate: float = 0.0
+    # Syscall-shield stalls, per call index.
+    syscall_stall_rate: float = 0.0
+    syscall_stall_cycles: int = 50_000
+
+    def __post_init__(self):
+        for name in (
+            "mapper_crash_rate", "reducer_crash_rate", "message_drop_rate",
+            "message_duplicate_rate", "message_delay_rate",
+            "notification_drop_rate", "frame_corruption_rate",
+            "storage_failure_rate", "syscall_stall_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    "%s must be a probability, got %r" % (name, rate)
+                )
+
+
+class ChaosInjector:
+    """Deterministic fault decisions plus a thread-safe injection log."""
+
+    def __init__(self, config=None, **overrides):
+        if config is None:
+            config = ChaosConfig(**overrides)
+        elif overrides:
+            raise ConfigurationError("pass either a config or overrides")
+        self.config = config
+        self._lock = threading.Lock()
+        self._log = []
+
+    # --- the decision core ---
+
+    def _draw(self, kind, *coordinates):
+        """Uniform [0, 1) draw, a pure function of (seed, kind, coords)."""
+        return RandomStream(
+            derive_seed(self.config.seed, "chaos", kind, *coordinates)
+        ).random()
+
+    def _happens(self, rate, kind, *coordinates):
+        if rate <= 0.0:
+            return False
+        if self._draw(kind, *coordinates) >= rate:
+            return False
+        self._record(kind, coordinates)
+        return True
+
+    def _record(self, kind, coordinates, detail=None):
+        with self._lock:
+            self._log.append((kind, tuple(coordinates), detail))
+
+    # --- decisions, one per fault class ---
+
+    def mapper_crashes(self, split_index, attempt):
+        """Does the mapper for ``split_index`` crash on this attempt?"""
+        return self._happens(
+            self.config.mapper_crash_rate, "mapper-crash", split_index, attempt
+        )
+
+    def reducer_crashes(self, partition, attempt):
+        """Does the reducer for ``partition`` crash on this attempt?"""
+        return self._happens(
+            self.config.reducer_crash_rate, "reducer-crash", partition, attempt
+        )
+
+    def drops_message(self, topic, sequence, attempt=0):
+        """Is bus event (topic, sequence) dropped on this delivery attempt?"""
+        return self._happens(
+            self.config.message_drop_rate, "message-drop",
+            topic, sequence, attempt,
+        )
+
+    def duplicates_message(self, topic, sequence):
+        """Is bus event (topic, sequence) delivered twice?"""
+        return self._happens(
+            self.config.message_duplicate_rate, "message-duplicate",
+            topic, sequence,
+        )
+
+    def delay_for_message(self, topic, sequence):
+        """Extra delivery delay for (topic, sequence); 0.0 for none."""
+        config = self.config
+        if config.message_delay_rate <= 0.0:
+            return 0.0
+        stream = RandomStream(
+            derive_seed(config.seed, "chaos", "message-delay", topic, sequence)
+        )
+        if stream.random() >= config.message_delay_rate:
+            return 0.0
+        delay = stream.uniform(0.0, config.message_delay_max)
+        self._record("message-delay", (topic, sequence), delay)
+        return delay
+
+    def drops_notification(self, subscriber, sequence):
+        """Is the broker's push of notification ``sequence`` lost?"""
+        return self._happens(
+            self.config.notification_drop_rate, "notification-drop",
+            subscriber, sequence,
+        )
+
+    def corrupts_frame(self, transfer_id, frame_index, attempt=0):
+        """Is transfer frame ``frame_index`` corrupted in flight?"""
+        return self._happens(
+            self.config.frame_corruption_rate, "frame-corruption",
+            transfer_id, frame_index, attempt,
+        )
+
+    def storage_fails(self, operation, path, attempt=0):
+        """Does the untrusted store reject this I/O operation?"""
+        return self._happens(
+            self.config.storage_failure_rate, "storage-failure",
+            operation, path, attempt,
+        )
+
+    def stalls_syscall(self, call_index):
+        """Extra kernel-side cycles for syscall ``call_index`` (0 if none)."""
+        if self._happens(
+            self.config.syscall_stall_rate, "syscall-stall", call_index
+        ):
+            return self.config.syscall_stall_cycles
+        return 0
+
+    # --- observability ---
+
+    @property
+    def injections(self):
+        """Number of faults injected so far."""
+        with self._lock:
+            return len(self._log)
+
+    def log(self):
+        """Sorted snapshot of injected faults (deterministic across runs).
+
+        Sorted because worker threads may append recovery-path entries
+        in scheduler order; the *set* of injections is seed-determined.
+        """
+        with self._lock:
+            return sorted(self._log, key=lambda entry: (entry[0], entry[1]))
+
+    def counts(self):
+        """Injection totals per fault kind."""
+        totals = {}
+        for kind, _coords, _detail in self.log():
+            totals[kind] = totals.get(kind, 0) + 1
+        return totals
+
+
+class FaultSchedule:
+    """Faults fired at planned virtual times, hooked into the kernel.
+
+    Probabilistic injection (the :class:`ChaosInjector`) covers steady
+    background faults; experiments also need *scripted* failures -- kill
+    this broker at t=0.25, crash that service at t=0.1 -- scheduled on
+    the discrete-event :class:`~repro.sim.events.Environment` so they
+    interleave deterministically with the workload.
+    """
+
+    def __init__(self, env, injector=None):
+        self.env = env
+        self.injector = injector
+        self.fired = []
+
+    def _fire(self, kind, target_name, action):
+        def strike():
+            action()
+            self.fired.append((self.env.now, kind, target_name))
+            if self.injector is not None:
+                self.injector._record(kind, (target_name,), self.env.now)
+        return strike
+
+    def crash_service_at(self, time, service):
+        """Crash a micro-service at virtual ``time``."""
+        return self.env.call_at(
+            time, self._fire("service-crash", service.name, service.crash)
+        )
+
+    def recover_service_at(self, time, service):
+        """Bring a crashed micro-service back at virtual ``time``."""
+        return self.env.call_at(
+            time, self._fire("service-recover", service.name, service.recover)
+        )
+
+    def fail_broker_at(self, time, replicated_broker):
+        """Destroy the active broker replica at virtual ``time``."""
+        return self.env.call_at(
+            time,
+            self._fire(
+                "broker-failure",
+                getattr(replicated_broker, "name", "broker"),
+                replicated_broker.fail_active,
+            ),
+        )
+
+    def call_at(self, time, kind, name, action):
+        """Schedule an arbitrary named fault ``action`` at ``time``."""
+        return self.env.call_at(time, self._fire(kind, name, action))

@@ -1,0 +1,178 @@
+"""Chaos wrappers: drop-in hostile versions of infrastructure pieces.
+
+Each wrapper keeps the wrapped object's interface and consults a
+:class:`~repro.chaos.injector.ChaosInjector` before forwarding, so a
+test or benchmark turns any deployment hostile by interposing one
+object -- no subsystem needs chaos-aware code on its happy path.
+"""
+
+from repro.errors import StorageUnavailableError
+
+
+class ChaosBus:
+    """Wraps an event bus; drops, duplicates, and delays sealed events.
+
+    Decisions are keyed by ``(topic, sequence, attempt)`` where the
+    attempt counter increments per delivery try of that sequence
+    (including NACK-triggered redeliveries), so a redelivered event is
+    an independent draw and recovery converges.
+    """
+
+    def __init__(self, bus, injector):
+        self.bus = bus
+        self.injector = injector
+        self._attempts = {}
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+
+    def __getattr__(self, name):
+        return getattr(self.bus, name)
+
+    def _next_attempt(self, topic, sequence):
+        key = (topic, sequence)
+        attempt = self._attempts.get(key, 0)
+        self._attempts[key] = attempt + 1
+        return attempt
+
+    def publish(self, event):
+        attempt = self._next_attempt(event.topic, event.sequence)
+        if self.injector.drops_message(event.topic, event.sequence, attempt):
+            self.dropped += 1
+            return None
+        delay = self.injector.delay_for_message(event.topic, event.sequence)
+        if delay > 0.0:
+            self.delayed += 1
+            return self.bus.env.call_later(
+                delay, lambda: self.bus.publish(event)
+            )
+        result = self.bus.publish(event)
+        if self.injector.duplicates_message(event.topic, event.sequence):
+            self.duplicated += 1
+            self.bus.publish(event)
+        return result
+
+    def redeliver(self, topic, sequences, handler=None):
+        """NACK path: redeliveries run the same drop gauntlet."""
+        survivors = []
+        for sequence in sequences:
+            attempt = self._next_attempt(topic, sequence)
+            if self.injector.drops_message(topic, sequence, attempt):
+                self.dropped += 1
+                continue
+            survivors.append(sequence)
+        return self.bus.redeliver(topic, survivors, handler=handler)
+
+
+class ChaosVolume:
+    """Wraps an FS-shield volume; I/O transiently fails with some rate.
+
+    Raises :class:`~repro.errors.StorageUnavailableError` -- a
+    :class:`~repro.errors.TransientError` -- so retry policies classify
+    it without string matching.  Per-(operation, path) attempt counters
+    make each retry an independent draw.
+    """
+
+    _CHAOTIC = ("write", "read_all", "delete")
+
+    def __init__(self, volume, injector):
+        self.volume = volume
+        self.injector = injector
+        self._attempts = {}
+        self.failures_injected = 0
+
+    def __getattr__(self, name):
+        return getattr(self.volume, name)
+
+    def _guard(self, operation, path):
+        key = (operation, path)
+        attempt = self._attempts.get(key, 0)
+        self._attempts[key] = attempt + 1
+        if self.injector.storage_fails(operation, path, attempt):
+            self.failures_injected += 1
+            raise StorageUnavailableError(
+                "injected storage failure: %s %r (attempt %d)"
+                % (operation, path, attempt)
+            )
+
+    def write(self, path, data):
+        self._guard("write", path)
+        return self.volume.write(path, data)
+
+    def read_all(self, path):
+        self._guard("read_all", path)
+        return self.volume.read_all(path)
+
+    def delete(self, path):
+        self._guard("delete", path)
+        return self.volume.delete(path)
+
+    def exists(self, path):
+        # Existence checks stay reliable: a store that lies about
+        # membership is the rollback attack the manifest MAC catches,
+        # not a transient fault.
+        return self.volume.exists(path)
+
+
+class ChaosNetwork:
+    """Wraps a :class:`~repro.bigdata.transfer.SimulatedNetwork` link.
+
+    Corrupts frame payloads in flight (one flipped byte -- enough for
+    the AEAD tag check to fail) at the configured rate; the reliable
+    transfer detects the integrity failure and retransmits.  Frame
+    indices are assigned in send order per transfer, so decisions are
+    deterministic.
+    """
+
+    def __init__(self, network, injector, transfer_id=b"t0"):
+        self.network = network
+        self.injector = injector
+        self.transfer_id = transfer_id
+        self._frame_attempts = {}
+        self.corrupted = 0
+
+    def __getattr__(self, name):
+        return getattr(self.network, name)
+
+    def send_frame(self, frame, frame_index=None):
+        if frame_index is None:
+            frame_index = self.network.frames_sent
+        attempt = self._frame_attempts.get(frame_index, 0)
+        self._frame_attempts[frame_index] = attempt + 1
+        sent = self.network.send_frame(frame, frame_index=frame_index)
+        if self.injector.corrupts_frame(self.transfer_id, frame_index, attempt):
+            self.corrupted += 1
+            flipped = bytearray(sent)
+            flipped[len(flipped) // 2] ^= 0x01
+            return bytes(flipped)
+        return sent
+
+
+class ChaosSyscallExecutor:
+    """Wraps a syscall executor; stalls chosen calls in the host kernel.
+
+    Models a noisy or adversarially slow OS: the stalled call charges
+    extra kernel-side cycles before returning, which the async-syscall
+    latency experiments observe as tail latency.  Shield validation
+    still runs -- chaos slows the kernel, it does not bypass shielding.
+    """
+
+    def __init__(self, executor, injector):
+        self.executor = executor
+        self.injector = injector
+        self._call_index = 0
+        self.stalled = 0
+        self.stall_cycles = 0
+
+    def __getattr__(self, name):
+        return getattr(self.executor, name)
+
+    def call(self, name, *args):
+        index = self._call_index
+        self._call_index += 1
+        stall = self.injector.stalls_syscall(index)
+        if stall:
+            self.stalled += 1
+            self.stall_cycles += stall
+            self.executor.clock.charge(stall)
+        return self.executor.call(name, *args)

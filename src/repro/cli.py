@@ -26,6 +26,8 @@ EXPERIMENTS = {
            "GenPack energy savings"),
     "e4": ("benchmarks.bench_e4_orchestration_latency", "run_e4",
            "orchestration anomaly-detection latency"),
+    "e5": ("benchmarks.bench_e5_chaos_recovery", "run_e5",
+           "chaos recovery: detection-to-recovery latency and goodput"),
     "f1": ("benchmarks.bench_f1_event_bus", "run_f1",
            "Figure 1 architecture, executable"),
     "f2": ("benchmarks.bench_f2_secure_containers", "run_f2",
@@ -122,6 +124,32 @@ def run_smoke():
     return 0
 
 
+def run_chaos_check():
+    """Determinism gate for the chaos layer (``smoke --chaos``).
+
+    Runs the E5 chaos-recovery scenarios twice with the same seed and
+    fails unless both passes produce identical rows -- seeded fault
+    injection must be reproducible or every chaos test is flaky by
+    construction.
+    """
+    _module, run_e5 = _load("e5")
+    start = time.perf_counter()
+    first = run_e5(smoke=True)
+    second = run_e5(smoke=True)
+    if first != second:
+        print("chaos determinism FAILED: two same-seed runs diverged")
+        for row_a, row_b in zip(first, second):
+            marker = "  " if row_a == row_b else "!="
+            print("%s %r | %r" % (marker, row_a, row_b))
+        return 1
+    _render("e5", first)
+    print(
+        "chaos determinism ok: %d scenarios identical across two runs "
+        "(%.1fs)" % (len(first), time.perf_counter() - start)
+    )
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -131,8 +159,12 @@ def main(argv=None):
     commands.add_parser("list", help="list experiment ids")
     runner = commands.add_parser("run", help="run one experiment (or 'all')")
     runner.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
-    commands.add_parser(
+    smoke = commands.add_parser(
         "smoke", help="run every experiment in fast smoke mode (CI)"
+    )
+    smoke.add_argument(
+        "--chaos", action="store_true",
+        help="additionally verify seeded chaos runs are deterministic",
     )
     arguments = parser.parse_args(argv)
 
@@ -141,7 +173,10 @@ def main(argv=None):
             print("%-4s %s" % (experiment_id, EXPERIMENTS[experiment_id][2]))
         return 0
     if arguments.command == "smoke":
-        return run_smoke()
+        status = run_smoke()
+        if status == 0 and arguments.chaos:
+            status = run_chaos_check()
+        return status
     targets = (
         sorted(EXPERIMENTS)
         if arguments.experiment == "all"

@@ -5,6 +5,14 @@ so applications can catch platform failures with a single handler while
 still being able to distinguish security-relevant conditions (integrity
 violations, failed attestation) from operational ones (capacity,
 configuration).
+
+Recovery policies additionally need to distinguish *transient* faults
+(a crashed worker, a dropped frame, a momentarily unreachable store --
+retrying may succeed) from *fatal* ones (tampered data, a bad
+configuration -- retrying can never help).  :class:`TransientError` and
+:class:`FatalError` split the hierarchy along that axis; the concrete
+exceptions below subclass one of the two, so retry machinery can
+classify failures with ``isinstance`` instead of string matching.
 """
 
 
@@ -12,16 +20,38 @@ class SecureCloudError(Exception):
     """Base class for all errors raised by the SecureCloud platform."""
 
 
-class IntegrityError(SecureCloudError):
+class TransientError(SecureCloudError):
+    """An operational fault that a bounded retry may resolve.
+
+    Raised for conditions caused by the environment rather than the
+    request itself: crashed workers, unreachable brokers, dropped or
+    corrupted frames in flight, exhausted-but-draining capacity.  Retry
+    policies treat these as retryable.
+    """
+
+
+class FatalError(SecureCloudError):
+    """A failure no amount of retrying can fix.
+
+    Raised for evidence of attack (integrity, attestation) and for
+    caller mistakes (configuration).  Retry policies re-raise these
+    immediately.
+    """
+
+
+class IntegrityError(FatalError):
     """Data failed an authenticity or integrity check.
 
     Raised when a MAC does not verify, a content hash mismatches, a
     signature is invalid, or protected file-system state was tampered
     with.  Treat this as evidence of an attack, not a transient fault.
+    (Recovery protocols that *expect* in-flight corruption, like the
+    reliable bulk transfer, catch this at the frame boundary and
+    surface a :class:`TransientError` for the retransmission path.)
     """
 
 
-class AttestationError(SecureCloudError):
+class AttestationError(FatalError):
     """Remote or local attestation of an enclave failed.
 
     Raised when a quote's signature is invalid, the reported measurement
@@ -30,15 +60,16 @@ class AttestationError(SecureCloudError):
     """
 
 
-class CapacityError(SecureCloudError):
+class CapacityError(TransientError):
     """A resource request exceeded available capacity.
 
     Raised by the EPC allocator, the container engine, and the GenPack
     scheduler when a placement or allocation cannot be satisfied.
+    Transient: capacity frees as other work drains.
     """
 
 
-class ConfigurationError(SecureCloudError):
+class ConfigurationError(FatalError):
     """Invalid or inconsistent configuration was supplied."""
 
 
@@ -46,9 +77,43 @@ class EnclaveError(SecureCloudError):
     """An enclave operation failed (bad ECALL, destroyed enclave, ...)."""
 
 
-class SchedulingError(SecureCloudError):
+class EnclaveLostError(EnclaveError, TransientError):
+    """The target enclave is gone (crashed, destroyed, or torn down).
+
+    Transient from the caller's perspective: a replacement enclave of
+    the same measured code can be loaded and the call replayed.
+    """
+
+
+class SchedulingError(TransientError):
     """The scheduler could not produce a valid placement."""
 
 
-class TransportError(SecureCloudError):
+class TransportError(TransientError):
     """A simulated network channel failed (handshake, framing, routing)."""
+
+
+class WorkerCrashError(TransientError):
+    """A map/reduce worker crashed mid-task (injected or detected)."""
+
+
+class BrokerUnavailableError(TransientError):
+    """A pub/sub broker stopped responding; fail over or retry."""
+
+
+class StorageUnavailableError(TransientError):
+    """The untrusted store refused an I/O operation transiently."""
+
+
+class RetryExhaustedError(FatalError):
+    """A retry policy gave up after its attempt budget.
+
+    Carries the final underlying error (:attr:`last_error`) and the
+    number of attempts made (:attr:`attempts`), so callers can report a
+    clean, typed job failure instead of a stack of stale tracebacks.
+    """
+
+    def __init__(self, message, attempts=0, last_error=None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error

@@ -9,6 +9,7 @@ so packing by observed usage fits more containers per server.
 """
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.sim.rng import RandomStream
 
@@ -37,7 +38,7 @@ class RunningContainer:
     """Scheduler-side state of a placed container."""
 
     spec: ContainerSpec
-    server: object = None
+    server: Optional[object] = None
     generation: str = "nursery"
     placed_at: float = 0.0
     migrations: int = 0

@@ -11,9 +11,20 @@ that only the enclaves of authorised services hold (delivered via their
 SCFs).  The bus can reorder-attack, tamper, or snoop; the enclave-side
 ``open`` calls detect everything but message dropping, which surfaces
 as sequence gaps.
+
+Detection alone aborts the consumer; recovery needs a redelivery path.
+:class:`ReliableEventBus` retains recently published sealed events, and
+:class:`ReliableSubscriber` turns gap detection into NACKs against that
+retained window: out-of-order arrivals are buffered, missing sequences
+are re-requested (bounded attempts, re-checked on a virtual-time
+timer), and the application handler sees every event exactly once, in
+order.  Retention holds only ciphertext, so a compromised bus learns
+nothing new from the redelivery buffer.
 """
 
-from repro.errors import IntegrityError
+from collections import OrderedDict
+
+from repro.errors import ConfigurationError, IntegrityError
 from repro.crypto.aead import Ciphertext
 
 
@@ -156,3 +167,173 @@ class EventBus:
     def topics(self):
         """Topics with at least one subscriber."""
         return sorted(self._subscribers)
+
+
+class ReliableEventBus(EventBus):
+    """An event bus retaining sealed events for NACK-based redelivery.
+
+    Publishers behave exactly as on :class:`EventBus`; additionally the
+    bus keeps the last ``retention`` sealed events per topic so a
+    consumer that detects a sequence gap can request redelivery.  The
+    retained window is ciphertext only -- the bus still cannot read,
+    forge, or reorder anything undetected.
+    """
+
+    def __init__(self, env, latency=0.0005, retention=1024):
+        if retention < 1:
+            raise ConfigurationError("retention must be >= 1")
+        super().__init__(env, latency=latency)
+        self.retention = retention
+        self._retained = {}
+        self.redelivered = 0
+
+    def publish(self, event):
+        window = self._retained.setdefault(event.topic, OrderedDict())
+        window[event.sequence] = event
+        while len(window) > self.retention:
+            window.popitem(last=False)
+        return super().publish(event)
+
+    def retained_sequences(self, topic):
+        """Sequences currently redeliverable for ``topic``."""
+        return list(self._retained.get(topic, ()))
+
+    def redeliver(self, topic, sequences, handler=None):
+        """Redeliver retained events after the bus latency.
+
+        ``handler`` targets one consumer (the NACK issuer); without it
+        every subscriber of the topic receives the redelivery.  Returns
+        the sequences actually found in the retained window -- a
+        sequence that has aged out is permanently lost and the caller
+        must surface it.
+        """
+        window = self._retained.get(topic, {})
+        found = []
+        for sequence in sequences:
+            event = window.get(sequence)
+            if event is None:
+                continue
+            found.append(sequence)
+            self.redelivered += 1
+            targets = (
+                [handler] if handler is not None
+                else list(self._subscribers.get(topic, ()))
+            )
+            timeout = self.env.timeout(self.latency, value=event)
+
+            def deliver(fired, targets=targets):
+                for target in targets:
+                    self.delivered += 1
+                    target(fired.value)
+
+            timeout.callbacks.append(deliver)
+        return found
+
+
+class ReliableSubscriber:
+    """Exactly-once, in-order consumption over a lossy bus.
+
+    Wraps a handler: arrivals ahead of the expected sequence are
+    buffered, detected gaps are NACKed against the bus's retained
+    window, and duplicates (redelivery races, hostile duplication) are
+    discarded.  Each missing sequence is re-requested on a virtual-time
+    timer up to ``max_nacks`` times, after which it is recorded in
+    :attr:`lost` -- loss becomes an explicit, bounded outcome instead
+    of a silent gap or an unbounded wait.
+
+    ``orchestrator`` (optional) receives ``report_anomaly(topic,
+    "gap")`` on first detection of each gap, wiring bus-level faults
+    into the same reaction plane as service anomalies.
+    """
+
+    def __init__(self, bus, topic, handler, max_nacks=8, nack_timeout=None,
+                 orchestrator=None):
+        self.bus = bus
+        self.topic = topic
+        self.handler = handler
+        self.max_nacks = max_nacks
+        self.nack_timeout = (
+            nack_timeout if nack_timeout is not None else bus.latency * 4
+        )
+        self.orchestrator = orchestrator
+        self._expected = 0
+        self._pending = {}
+        self._nack_counts = {}
+        self._gap_detected_at = {}
+        self.delivered = 0
+        self.duplicates = 0
+        self.nacks = 0
+        self.lost = []
+        self._lost_set = set()
+        self.recovery_latencies = []
+        bus.subscribe(topic, self.observe)
+
+    def observe(self, event):
+        """Feed one received sealed event (the bus calls this)."""
+        if event.topic != self.topic:
+            raise IntegrityError(
+                "subscriber for %r fed an event on %r"
+                % (self.topic, event.topic)
+            )
+        sequence = event.sequence
+        if sequence < self._expected or sequence in self._pending:
+            self.duplicates += 1
+            return
+        self._pending[sequence] = event
+        self._drain()
+        for missing in self._missing_sequences():
+            if missing not in self._nack_counts:
+                self._gap_detected_at[missing] = self.bus.env.now
+                if self.orchestrator is not None:
+                    self.orchestrator.report_anomaly(self.topic, "gap")
+                self._nack(missing)
+
+    def _missing_sequences(self):
+        if not self._pending:
+            return []
+        horizon = max(self._pending)
+        return [
+            sequence for sequence in range(self._expected, horizon)
+            if sequence not in self._pending
+        ]
+
+    def _drain(self):
+        while True:
+            if self._expected in self._pending:
+                event = self._pending.pop(self._expected)
+                detected = self._gap_detected_at.pop(self._expected, None)
+                if detected is not None:
+                    self.recovery_latencies.append(self.bus.env.now - detected)
+                self._nack_counts.pop(self._expected, None)
+                self._expected += 1
+                self.delivered += 1
+                self.handler(event)
+            elif self._expected in self._lost_set:
+                # A hole we already gave up on: step over it so later
+                # buffered events still reach the handler in order.
+                self._expected += 1
+            else:
+                return
+
+    def _nack(self, sequence):
+        attempts = self._nack_counts.get(sequence, 0)
+        if attempts >= self.max_nacks:
+            if sequence not in self._lost_set:
+                # Give up: record the loss explicitly and release
+                # in-order delivery past the hole.
+                self.lost.append(sequence)
+                self._lost_set.add(sequence)
+                self._gap_detected_at.pop(sequence, None)
+                self._drain()
+            return
+        self._nack_counts[sequence] = attempts + 1
+        self.nacks += 1
+        self.bus.redeliver(self.topic, [sequence], handler=self.observe)
+        self.bus.env.call_later(
+            self.nack_timeout, lambda: self._recheck(sequence)
+        )
+
+    def _recheck(self, sequence):
+        if sequence < self._expected or sequence in self._pending:
+            return  # recovered in the meantime
+        self._nack(sequence)

@@ -18,6 +18,7 @@ benchmark reports.
 """
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass
@@ -36,9 +37,9 @@ class Detection:
     """One anomaly detection record."""
 
     service_name: str
-    kind: str              # "latency" | "liveness"
+    kind: str              # "latency" | "liveness" | externally reported
     detected_at: float
-    onset: float = None
+    onset: Optional[float] = None
 
     @property
     def detection_latency(self):
@@ -71,6 +72,19 @@ class Orchestrator:
     def record_onset(self, service_name, time=None):
         """Tests/benchmarks call this when they inject an anomaly."""
         self._onsets[service_name] = time if time is not None else self.env.now
+
+    def report_anomaly(self, name, kind, onset=None):
+        """External subsystems report an anomaly they detected themselves.
+
+        The recovery plane is wider than the QoS sampler: bus gap
+        watchers, replicated brokers, and data-plane drivers detect
+        their own failures.  Reporting routes those through the same
+        detection record / reaction / ``on_detection`` pipeline, so one
+        log carries every detection-to-recovery episode.
+        """
+        if onset is not None:
+            self._onsets[name] = onset
+        self._detect(name, kind, self.env.now)
 
     def start(self, duration):
         """Run the sampling loop for ``duration`` of virtual time."""
@@ -126,6 +140,12 @@ class Orchestrator:
         try:
             service = self.registry.lookup(service_name)
         except Exception:
+            # Non-service anomalies (bus topics, brokers) have no
+            # registry entry; unflag so the name can be detected again.
+            self._flagged.discard(service_name)
+            self._cooldown_until[service_name] = (
+                self.env.now + self.policy.reaction_cooldown
+            )
             return
         if kind == "latency":
             # Model a CPU-quota bump / migration off the contended host.

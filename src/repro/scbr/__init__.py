@@ -15,6 +15,8 @@ between filters so fewer comparisons are needed per publication.
 - :mod:`~repro.scbr.keyexchange` -- attested key establishment between
   clients and the router enclave.
 - :mod:`~repro.scbr.router` -- the enclave-hosted router.
+- :mod:`~repro.scbr.replication` -- primary/standby broker failover
+  with sealed-checkpoint restore and exactly-once replay.
 """
 
 from repro.scbr.compact import HotColdIndex
@@ -25,6 +27,7 @@ from repro.scbr.network import Broker, ScbrNetwork
 from repro.scbr.workload import ScbrWorkload
 from repro.scbr.messages import EncryptedEnvelope
 from repro.scbr.keyexchange import RouterKeyExchange
+from repro.scbr.replication import FailoverClient, ReplicatedBroker
 from repro.scbr.router import ScbrClient, ScbrRouter
 
 __all__ = [
@@ -32,10 +35,12 @@ __all__ = [
     "Constraint",
     "ContainmentIndex",
     "EncryptedEnvelope",
+    "FailoverClient",
     "HotColdIndex",
     "LinearIndex",
     "Operator",
     "Publication",
+    "ReplicatedBroker",
     "RouterKeyExchange",
     "ScbrClient",
     "ScbrNetwork",

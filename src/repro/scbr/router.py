@@ -79,6 +79,38 @@ def enclave_publish(ctx, envelope):
     return notifications
 
 
+def enclave_publish_routed(ctx, envelope):
+    """ECALL: like ``publish``, but says *who* each notification is for.
+
+    Returns ``(subscriber_id, notification)`` pairs.  The subscriber id
+    is metadata the broker already learns by delivering the envelope,
+    so exposing it leaks nothing new -- but it lets a replicating
+    broker keep a per-subscriber redelivery log for failover replay.
+    """
+    key = _client_key(ctx, envelope.sender)
+    if envelope.kind != "publish":
+        raise IntegrityError("expected a publication envelope")
+    publication = deserialize_publication(envelope.open(key))
+    index = ctx.state["index"]
+    matched = index.match(publication)
+    routed = []
+    for subscription_id in sorted(matched):
+        subscriber = ctx.state["subscriber_of"][subscription_id]
+        subscriber_key = _client_key(ctx, subscriber)
+        routed.append(
+            (
+                subscriber,
+                EncryptedEnvelope.seal(
+                    subscriber_key,
+                    "router",
+                    "notify",
+                    serialize_publication(publication),
+                ),
+            )
+        )
+    return routed
+
+
 def enclave_unsubscribe(ctx, client_id, subscription_id):
     """ECALL: remove a subscription; only its owner may do so."""
     _client_key(ctx, client_id)  # the client must hold a channel
@@ -147,6 +179,7 @@ ROUTER_ENTRY_POINTS = {
     "subscribe": enclave_subscribe,
     "unsubscribe": enclave_unsubscribe,
     "publish": enclave_publish,
+    "publish_routed": enclave_publish_routed,
     "stats": enclave_stats,
     "checkpoint": enclave_checkpoint,
     "restore": enclave_restore,
@@ -192,6 +225,12 @@ class ScbrRouter:
         notifications = self.enclave.ecall("publish", envelope)
         self.publications_routed += 1
         return notifications
+
+    def publish_routed(self, envelope):
+        """Route a publication; returns (subscriber_id, envelope) pairs."""
+        routed = self.enclave.ecall("publish_routed", envelope)
+        self.publications_routed += 1
+        return routed
 
     def stats(self):
         """Operational counters from inside the enclave."""

@@ -17,6 +17,7 @@ SCONE's syscall story (Section IV) has three parts, all modelled here:
 """
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import ConfigurationError, IntegrityError
 
@@ -267,7 +268,7 @@ class PendingSyscall:
 
     request: SyscallRequest
     completion_time: int
-    result: object = None
+    result: Optional[object] = None
     validated: bool = field(default=False, repr=False)
 
     def done_at(self, now):

@@ -16,7 +16,7 @@ paper's "plaintext only inside the processor" property.
 
 import itertools
 
-from repro.errors import EnclaveError
+from repro.errors import EnclaveError, EnclaveLostError
 from repro.crypto.primitives import sha256, sha256_hex
 from repro.sgx.memory import SimulatedMemory
 
@@ -171,7 +171,10 @@ class Enclave:
         Charges an EENTER/EEXIT transition pair around the call.
         """
         if self._destroyed:
-            raise EnclaveError("enclave %s has been destroyed" % self.name)
+            # Transient from the caller's view: the same measured code
+            # can be reloaded (or a standby promoted) and the call
+            # replayed -- this is what failover paths catch.
+            raise EnclaveLostError("enclave %s has been destroyed" % self.name)
         function = self.code.entry_points.get(entry_point)
         if function is None:
             raise EnclaveError(

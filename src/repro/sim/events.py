@@ -294,6 +294,26 @@ class Environment:
         """Create an event firing ``delay`` time units from now."""
         return Timeout(self, delay, value)
 
+    def call_later(self, delay, callback):
+        """Run ``callback()`` after ``delay`` time units; returns the event.
+
+        Plain-callable convenience over the timeout/callback idiom used
+        by fault schedules and benchmarks; the callback receives no
+        arguments (wrap state in a closure).
+        """
+        timeout = Timeout(self, delay)
+        timeout.callbacks.append(lambda _fired: callback())
+        return timeout
+
+    def call_at(self, time, callback):
+        """Run ``callback()`` at absolute virtual ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                "cannot schedule at %r; the clock is already at %r"
+                % (time, self._now)
+            )
+        return self.call_later(time - self._now, callback)
+
     def process(self, generator):
         """Start a :class:`Process` driving ``generator``."""
         return Process(self, generator)

@@ -1,0 +1,74 @@
+"""Tests for retry-with-backoff on the secure table's volume I/O."""
+
+import pytest
+
+from repro.chaos import ChaosInjector, ChaosVolume
+from repro.errors import RetryExhaustedError, StorageUnavailableError
+from repro.retry import RetryPolicy
+from repro.scone.fs_shield import ProtectedVolume, UntrustedStore
+from repro.bigdata.kvstore import SecureTable
+
+
+def chaotic_volume(rate, seed=31):
+    volume = ProtectedVolume(UntrustedStore(), chunk_size=128)
+    return ChaosVolume(volume, ChaosInjector(
+        seed=seed, storage_failure_rate=rate
+    ))
+
+
+class TestRetry:
+    def test_transient_failures_are_retried_through(self):
+        volume = chaotic_volume(0.3)
+        table = SecureTable(volume, "meters",
+                            retry_policy=RetryPolicy(max_attempts=6,
+                                                     base_delay=0.002))
+        for index in range(12):
+            table.put("m%d" % index, b"v%d" % index)
+        assert len(table) == 12
+        for index in range(12):
+            assert table.get("m%d" % index) == b"v%d" % index
+        assert volume.failures_injected > 0
+        assert table.retries == volume.failures_injected
+        assert table.backoff.seconds > 0.0
+
+    def test_without_policy_failures_propagate(self):
+        volume = chaotic_volume(1.0)
+        table = SecureTable(volume, "meters")
+        with pytest.raises(StorageUnavailableError):
+            table.put("k", b"v")
+
+    def test_budget_exhaustion_is_typed(self):
+        volume = chaotic_volume(1.0)
+        table = SecureTable(volume, "meters",
+                            retry_policy=RetryPolicy(max_attempts=3,
+                                                     base_delay=0.001))
+        with pytest.raises(RetryExhaustedError):
+            table.put("k", b"v")
+
+    def test_put_many_resume_is_idempotent(self):
+        # A put_many that dies before the manifest seal leaves only
+        # unregistered row files; re-running the same call overwrites
+        # them and completes.
+        volume = ProtectedVolume(UntrustedStore(), chunk_size=128)
+        table = SecureTable(volume, "meters")
+        items = [("m%d" % i, b"v%d" % i) for i in range(6)]
+        # Simulate the partial first run: rows written, manifest not.
+        for key, value in items[:4]:
+            volume.write("/tables/meters/%s" % key, value)
+        table.put_many(items)
+        assert len(table) == 6
+        reopened = SecureTable.open(volume, "meters")
+        assert reopened.keys() == [key for key, _value in items]
+        assert reopened.verify()
+
+    def test_reopen_with_policy_survives_flaky_manifest_read(self):
+        volume = ProtectedVolume(UntrustedStore(), chunk_size=128)
+        SecureTable(volume, "meters").put("k", b"v")
+        flaky = ChaosVolume(volume, ChaosInjector(
+            seed=3, storage_failure_rate=0.5
+        ))
+        reopened = SecureTable.open(
+            flaky, "meters",
+            retry_policy=RetryPolicy(max_attempts=8, base_delay=0.001),
+        )
+        assert reopened.get("k") == b"v"

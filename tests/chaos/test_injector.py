@@ -1,0 +1,144 @@
+"""Tests for the seeded fault injector and scheduled faults."""
+
+import pytest
+
+from repro.chaos import (
+    ChaosConfig,
+    ChaosInjector,
+    ChaosSyscallExecutor,
+    ChaosVolume,
+    FaultSchedule,
+)
+from repro.errors import ConfigurationError, StorageUnavailableError
+from repro.scone.fs_shield import ProtectedVolume, UntrustedStore
+from repro.sim.events import Environment
+
+
+class TestChaosConfig:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(message_drop_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(mapper_crash_rate=-0.1)
+
+    def test_config_or_overrides_not_both(self):
+        with pytest.raises(ConfigurationError):
+            ChaosInjector(ChaosConfig(), message_drop_rate=0.5)
+
+
+class TestDecisions:
+    def test_same_seed_same_decisions(self):
+        a = ChaosInjector(seed=3, message_drop_rate=0.3)
+        b = ChaosInjector(seed=3, message_drop_rate=0.3)
+        decisions_a = [a.drops_message("t", i) for i in range(200)]
+        decisions_b = [b.drops_message("t", i) for i in range(200)]
+        assert decisions_a == decisions_b
+        assert any(decisions_a) and not all(decisions_a)
+
+    def test_decisions_are_order_independent(self):
+        forward = ChaosInjector(seed=9, frame_corruption_rate=0.4)
+        backward = ChaosInjector(seed=9, frame_corruption_rate=0.4)
+        order_a = [forward.corrupts_frame(b"t", i) for i in range(64)]
+        order_b = [
+            backward.corrupts_frame(b"t", i) for i in reversed(range(64))
+        ]
+        assert order_a == list(reversed(order_b))
+        assert forward.log() == backward.log()
+
+    def test_attempts_are_independent_draws(self):
+        injector = ChaosInjector(seed=5, storage_failure_rate=0.5)
+        attempts = [
+            injector.storage_fails("write", "/p", attempt)
+            for attempt in range(40)
+        ]
+        # With rate 0.5, forty dependent draws would be all-true or
+        # all-false; independence means both outcomes appear.
+        assert any(attempts) and not all(attempts)
+
+    def test_different_seeds_differ(self):
+        a = ChaosInjector(seed=1, message_drop_rate=0.3)
+        b = ChaosInjector(seed=2, message_drop_rate=0.3)
+        assert [a.drops_message("t", i) for i in range(100)] != [
+            b.drops_message("t", i) for i in range(100)
+        ]
+
+    def test_zero_rate_never_fires(self):
+        injector = ChaosInjector(seed=1)
+        assert not any(injector.drops_message("t", i) for i in range(50))
+        assert injector.injections == 0
+
+    def test_log_and_counts(self):
+        injector = ChaosInjector(seed=3, message_drop_rate=1.0)
+        injector.drops_message("t", 0)
+        injector.drops_message("t", 1)
+        assert injector.injections == 2
+        assert injector.counts() == {"message-drop": 2}
+
+    def test_delay_is_bounded_and_deterministic(self):
+        a = ChaosInjector(seed=11, message_delay_rate=1.0,
+                          message_delay_max=0.001)
+        b = ChaosInjector(seed=11, message_delay_rate=1.0,
+                          message_delay_max=0.001)
+        delays = [a.delay_for_message("t", i) for i in range(20)]
+        assert delays == [b.delay_for_message("t", i) for i in range(20)]
+        assert all(0.0 <= delay <= 0.001 for delay in delays)
+
+
+class TestChaosVolume:
+    def test_failures_are_transient_and_typed(self):
+        volume = ProtectedVolume(UntrustedStore(), chunk_size=128)
+        chaotic = ChaosVolume(volume, ChaosInjector(
+            seed=2, storage_failure_rate=1.0
+        ))
+        with pytest.raises(StorageUnavailableError):
+            chaotic.write("/f", b"x")
+        assert chaotic.failures_injected == 1
+
+    def test_exists_stays_reliable(self):
+        volume = ProtectedVolume(UntrustedStore(), chunk_size=128)
+        chaotic = ChaosVolume(volume, ChaosInjector(
+            seed=2, storage_failure_rate=1.0
+        ))
+        assert chaotic.exists("/nope") is False
+
+
+class TestFaultSchedule:
+    def test_fires_at_virtual_time(self):
+        env = Environment()
+        injector = ChaosInjector(seed=1)
+        schedule = FaultSchedule(env, injector=injector)
+        struck = []
+        schedule.call_at(0.5, "custom", "thing", lambda: struck.append(env.now))
+        env.run()
+        assert struck == [0.5]
+        assert schedule.fired == [(0.5, "custom", "thing")]
+        assert injector.counts() == {"custom": 1}
+
+    def test_past_time_rejected(self):
+        env = Environment()
+        env.run(until=1.0)
+        schedule = FaultSchedule(env)
+        with pytest.raises(Exception):
+            schedule.call_at(0.5, "late", "thing", lambda: None)
+
+
+class TestChaosSyscallExecutor:
+    def test_stall_charges_cycles(self):
+        from repro.sgx.costs import DEFAULT_COSTS
+        from repro.scone.syscalls import AsyncSyscallExecutor, SimulatedKernel
+        from repro.sim.clock import CycleClock
+
+        clock = CycleClock()
+        executor = AsyncSyscallExecutor(
+            clock, SimulatedKernel(), DEFAULT_COSTS
+        )
+        calm = AsyncSyscallExecutor(
+            CycleClock(), SimulatedKernel(), DEFAULT_COSTS
+        )
+        chaotic = ChaosSyscallExecutor(executor, ChaosInjector(
+            seed=4, syscall_stall_rate=1.0, syscall_stall_cycles=1000
+        ))
+        chaotic.call("open", "/tmp/f")
+        calm.call("open", "/tmp/f")
+        assert chaotic.stalled == 1
+        assert clock.now - calm.clock.now >= 1000
