@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke chaos-smoke experiments
+.PHONY: test bench bench-smoke bench-gate chaos-smoke experiments
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +21,14 @@ bench:
 # any benchmark path regresses.
 bench-smoke:
 	$(PYTHON) -m repro.cli smoke
+
+# Performance gate: run A1 and A10 in smoke mode and fail if any gated
+# metric (visits/match, virtual_ms/match, virtual_ms/pub) regressed
+# more than 10% against the checked-in benchmarks/out/gate_*.json
+# baselines.  Regenerate baselines with:
+#   $(PYTHON) -m repro.cli gate --update
+bench-gate:
+	$(PYTHON) -m repro.cli gate
 
 # Smoke run plus the chaos determinism gate: the E5 fault-injection
 # scenarios must produce identical results across two same-seed runs.

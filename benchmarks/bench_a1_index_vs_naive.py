@@ -24,6 +24,8 @@ SUBSCRIPTIONS = 3000
 PUBLICATIONS = 40
 CONTAINMENT = 0.6
 
+A1_HEADER = ("matcher", "visits/match", "matches/match", "virtual_ms/match")
+
 
 def _enclave_memory(name):
     costs = DEFAULT_COSTS
@@ -32,11 +34,13 @@ def _enclave_memory(name):
                            name=name), clock
 
 
-def run_a1():
+def run_a1(smoke=False):
+    total_subscriptions = 600 if smoke else SUBSCRIPTIONS
+    total_publications = 10 if smoke else PUBLICATIONS
     workload = ScbrWorkload(seed=11, num_attributes=12,
                             containment_fraction=CONTAINMENT)
-    subscriptions = workload.subscriptions(SUBSCRIPTIONS)
-    publications = workload.publications(PUBLICATIONS)
+    subscriptions = workload.subscriptions(total_subscriptions)
+    publications = workload.publications(total_publications)
 
     rows = []
     results = {}
@@ -62,9 +66,9 @@ def run_a1():
         rows.append(
             (
                 label,
-                visits / PUBLICATIONS,
-                matches / PUBLICATIONS,
-                cycles / PUBLICATIONS / 2.6e6,  # virtual ms per match
+                visits / total_publications,
+                matches / total_publications,
+                cycles / total_publications / 2.6e6,  # virtual ms per match
             )
         )
     assert results["naive linear scan"] == results["containment index"]

@@ -10,6 +10,7 @@ with identical delivery results.
 
 import pytest
 
+from repro.scbr.index import ContainmentIndex
 from repro.scbr.network import ScbrNetwork
 from repro.scbr.workload import ScbrWorkload
 
@@ -52,9 +53,29 @@ def _build_network(covering_enabled):
     return network
 
 
+def _oracle_deliveries():
+    """What a single all-knowing matcher would deliver, per publication.
+
+    One ContainmentIndex holding every subscription in the network is
+    the ground truth the distributed overlay must reproduce exactly --
+    routing (with or without covering) changes where matching happens,
+    never what is delivered.
+    """
+    workload = ScbrWorkload(seed=21, num_attributes=10,
+                            containment_fraction=0.7)
+    index = ContainmentIndex()
+    for subscription in workload.subscriptions(SUBSCRIPTIONS):
+        index.insert(subscription)
+    return [
+        sorted(index.match(publication))
+        for publication in workload.publications(PUBLICATIONS)
+    ]
+
+
 def run_a5():
     rows = []
     deliveries = {}
+    oracle = _oracle_deliveries()
     for covering in (False, True):
         workload = ScbrWorkload(seed=21, num_attributes=10,
                                 containment_fraction=0.7)
@@ -87,6 +108,12 @@ def run_a5():
             )
         )
     assert deliveries[False] == deliveries[True], "optimisation is lossless"
+    # Delivery-count oracle: every publication reaches exactly the
+    # subscriptions a single index over the whole network would match.
+    for covering, delivered in deliveries.items():
+        assert delivered == oracle, (
+            "covering=%s diverged from the single-index oracle" % covering
+        )
     return rows
 
 

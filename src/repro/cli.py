@@ -50,7 +50,24 @@ EXPERIMENTS = {
            "future work: paging-avoiding hot/cold matcher"),
     "a9": ("benchmarks.bench_a9_crypto_dataplane", "run_a9",
            "crypto data-plane throughput (seed vs. fused primitives)"),
+    "a10": ("benchmarks.bench_a10_sharded_matching", "run_a10",
+            "sharded matching plane publish fan-out"),
 }
+
+# Performance gate (``python -m repro.cli gate`` / ``make bench-gate``).
+# Each entry: experiment id -> (baseline artifact name, header attribute
+# on the benchmark module, {row column index: metric name}).  Gated
+# experiments run in smoke mode -- the virtual cycle model is
+# deterministic, so smoke rows are stable across runs -- and every gated
+# column is compared per labelled row against the checked-in baseline
+# under benchmarks/out/.  The baselines are separate files from the full
+# benchmark artifacts so a full ``make bench`` never overwrites them;
+# only ``gate --update`` does.
+GATE_SPECS = {
+    "a1": ("gate_a1", "A1_HEADER", {1: "visits/match", 3: "virtual_ms/match"}),
+    "a10": ("gate_a10", "A10_HEADER", {1: "virtual_ms/pub"}),
+}
+GATE_TOLERANCE = 0.10
 
 
 def _load(experiment_id):
@@ -150,6 +167,86 @@ def run_chaos_check():
     return 0
 
 
+def run_gate(update=False):
+    """Fail if a gated metric regressed >10% against its baseline.
+
+    Runs the gated experiments (A1, A10) in smoke mode and compares the
+    gated columns row-by-row against ``benchmarks/out/gate_<id>.json``.
+    With ``update=True`` the fresh rows replace the baselines instead.
+    """
+    import json
+    import os
+
+    from benchmarks import _harness
+
+    failures = []
+    for experiment_id in sorted(GATE_SPECS):
+        baseline_name, header_attribute, metrics = GATE_SPECS[experiment_id]
+        module, function = _load(experiment_id)
+        rows = function(smoke=True)
+        if update:
+            _harness.report(
+                baseline_name,
+                "Performance gate baseline: %s (smoke mode)"
+                % experiment_id.upper(),
+                getattr(module, header_attribute),
+                rows,
+                notes=(
+                    "regenerate with: python -m repro.cli gate --update",
+                    "compared columns: %s"
+                    % ", ".join(metrics[i] for i in sorted(metrics)),
+                ),
+            )
+            continue
+        path = os.path.join(_harness._OUT_DIR, baseline_name + ".json")
+        if not os.path.exists(path):
+            print(
+                "gate: missing baseline %s -- run "
+                "'python -m repro.cli gate --update' and commit it" % path
+            )
+            return 1
+        with open(path, "r", encoding="utf-8") as handle:
+            baseline_rows = {
+                row[0]: row for row in json.load(handle)["rows"]
+            }
+        for row in rows:
+            label = row[0]
+            baseline = baseline_rows.get(label)
+            if baseline is None:
+                failures.append(
+                    "%s %r: no baseline row (gate --update needed?)"
+                    % (experiment_id, label)
+                )
+                continue
+            for column in sorted(metrics):
+                fresh, old = float(row[column]), float(baseline[column])
+                if fresh > old * (1.0 + GATE_TOLERANCE):
+                    failures.append(
+                        "%s %r %s: %.4g -> %.4g (+%.1f%%, limit +%.0f%%)"
+                        % (
+                            experiment_id, label, metrics[column],
+                            old, fresh, (fresh / old - 1.0) * 100.0,
+                            GATE_TOLERANCE * 100.0,
+                        )
+                    )
+                else:
+                    print(
+                        "gate ok: %s %r %s: %.4g (baseline %.4g)"
+                        % (experiment_id, label, metrics[column], fresh, old)
+                    )
+    if update:
+        print("gate baselines updated under benchmarks/out/")
+        return 0
+    if failures:
+        print("performance gate FAILED:")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print("performance gate passed (tolerance +%.0f%%)"
+          % (GATE_TOLERANCE * 100.0))
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -166,6 +263,13 @@ def main(argv=None):
         "--chaos", action="store_true",
         help="additionally verify seeded chaos runs are deterministic",
     )
+    gate = commands.add_parser(
+        "gate", help="fail on >10%% regression vs. checked-in baselines"
+    )
+    gate.add_argument(
+        "--update", action="store_true",
+        help="regenerate the gate baselines instead of comparing",
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.command == "list":
@@ -177,6 +281,8 @@ def main(argv=None):
         if status == 0 and arguments.chaos:
             status = run_chaos_check()
         return status
+    if arguments.command == "gate":
+        return run_gate(update=arguments.update)
     targets = (
         sorted(EXPERIMENTS)
         if arguments.experiment == "all"

@@ -164,6 +164,32 @@ class EventBus:
         timeout.callbacks.append(deliver)
         return timeout
 
+    def publish_many(self, events):
+        """Queue a burst of events behind one shared latency timer.
+
+        A high-rate publisher flushing a batch pays one kernel timeout
+        for the whole burst instead of one per event; delivery order
+        follows the list order, so per-topic FIFO is preserved.  The
+        subscriber snapshot is taken at publish time, exactly as in
+        :meth:`publish`.
+        """
+        events = list(events)
+        self.published += len(events)
+        plan = [
+            (event, list(self._subscribers.get(event.topic, ())))
+            for event in events
+        ]
+        timeout = self.env.timeout(self.latency, value=events)
+
+        def deliver(_fired):
+            for event, handlers in plan:
+                for handler in handlers:
+                    self.delivered += 1
+                    handler(event)
+
+        timeout.callbacks.append(deliver)
+        return timeout
+
     def topics(self):
         """Topics with at least one subscriber."""
         return sorted(self._subscribers)
@@ -187,12 +213,21 @@ class ReliableEventBus(EventBus):
         self._retained = {}
         self.redelivered = 0
 
-    def publish(self, event):
+    def _retain(self, event):
         window = self._retained.setdefault(event.topic, OrderedDict())
         window[event.sequence] = event
         while len(window) > self.retention:
             window.popitem(last=False)
+
+    def publish(self, event):
+        self._retain(event)
         return super().publish(event)
+
+    def publish_many(self, events):
+        events = list(events)
+        for event in events:
+            self._retain(event)
+        return super().publish_many(events)
 
     def retained_sequences(self, topic):
         """Sequences currently redeliverable for ``topic``."""

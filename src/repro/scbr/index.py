@@ -129,6 +129,10 @@ class ContainmentIndex:
             siblings.append(child)
             self._parents[child.subscription.subscription_id] = parent
         node.children = []
+        if self.memory is not None and node.region is not None:
+            # Without this, an unsubscribed record stays resident in
+            # the EPC forever and keeps inflating paging pressure.
+            self.memory.free(node.region)
         self._count -= 1
         return node.subscription
 
@@ -161,6 +165,80 @@ class ContainmentIndex:
             result.append(node.subscription)
             stack.extend(node.children)
         return result
+
+    def roots(self):
+        """The root subscriptions (most general filter of each chain)."""
+        return [node.subscription for node in self._roots]
+
+    def covers_any_root(self, subscription):
+        """Whether some root of this forest covers ``subscription``.
+
+        A root covering the candidate means the candidate would land
+        inside an existing covering chain here -- the signal a
+        covering-aware shard planner uses to keep chains together.
+        """
+        return any(
+            node.subscription.covers(subscription) for node in self._roots
+        )
+
+    def subtree_size(self, subscription_id):
+        """Number of subscriptions in the subtree rooted at ``id``."""
+        node = self._nodes.get(subscription_id)
+        if node is None:
+            raise ConfigurationError(
+                "no subscription %r in the index" % subscription_id
+            )
+        count = 0
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            count += 1
+            stack.extend(current.children)
+        return count
+
+    def extract_subtrees(self, target_bytes):
+        """Detach whole root subtrees totalling >= ``target_bytes``.
+
+        Used by shard rebalancing: evacuating complete subtrees keeps
+        every covering chain intact, so re-inserting the returned
+        subscriptions (pre-order: parents first) into another index
+        reproduces the same forest structure.  Records are freed from
+        this index's memory.  Returns the extracted subscriptions;
+        extracts at most all roots, and always leaves the forest
+        consistent (:meth:`check_invariants` holds afterwards).
+        """
+        extracted = []
+        moved_bytes = 0
+        # Largest subtrees first: fewest detach operations to reach the
+        # target, and the donor keeps its many small independent roots.
+        order = sorted(
+            self._roots,
+            key=lambda node: (
+                -self.subtree_size(node.subscription.subscription_id),
+                node.subscription.subscription_id,
+            ),
+        )
+        for root in order:
+            if moved_bytes >= target_bytes:
+                break
+            self._roots.remove(root)
+            stack = [root]
+            pre_order = []
+            while stack:
+                node = stack.pop()
+                pre_order.append(node)
+                stack.extend(reversed(node.children))
+            for node in pre_order:
+                subscription_id = node.subscription.subscription_id
+                del self._nodes[subscription_id]
+                del self._parents[subscription_id]
+                if self.memory is not None and node.region is not None:
+                    self.memory.free(node.region)
+                node.children = []
+                self._count -= 1
+                moved_bytes += self.record_bytes
+                extracted.append(node.subscription)
+        return extracted
 
     def depth(self):
         """Maximum chain length (diagnostic for workload skew)."""

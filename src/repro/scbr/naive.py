@@ -60,10 +60,40 @@ class LinearIndex:
         """Unsubscribe by id (linear search, like everything here)."""
         from repro.errors import ConfigurationError
 
-        for position, (subscription, _region) in enumerate(self._entries):
+        for position, (subscription, region) in enumerate(self._entries):
             if subscription.subscription_id == subscription_id:
                 del self._entries[position]
+                if self.memory is not None and region is not None:
+                    self.memory.free(region)
                 return subscription
         raise ConfigurationError(
             "no subscription %r in the table" % subscription_id
         )
+
+    def roots(self):
+        """A flat table has no covering structure: every row is a root."""
+        return self.subscriptions()
+
+    def covers_any_root(self, subscription):
+        """No containment structure to exploit; placement falls back to
+        load balancing."""
+        return False
+
+    def extract_subtrees(self, target_bytes):
+        """Detach oldest entries totalling >= ``target_bytes``.
+
+        Rows are independent (no chains to preserve), so rebalancing
+        moves them from the front of the table; freed records leave
+        this memory's resident set.
+        """
+        count = min(
+            len(self._entries),
+            -(-target_bytes // self.record_bytes),  # ceil
+        )
+        extracted = []
+        for subscription, region in self._entries[:count]:
+            if self.memory is not None and region is not None:
+                self.memory.free(region)
+            extracted.append(subscription)
+        del self._entries[:count]
+        return extracted

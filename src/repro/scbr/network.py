@@ -48,13 +48,17 @@ class BrokerLink:
             serialize_subscription(subscription),
         )
 
-    def seal_publication(self, publication):
+    def seal_publication(self, publication, serialized=None):
+        """Seal for this hop; ``serialized`` lets a broker forwarding to
+        several neighbours serialize the publication once, not per link."""
         self.publications_forwarded += 1
+        if serialized is None:
+            serialized = serialize_publication(publication)
         return EncryptedEnvelope.seal(
             self.key,
             self.source.name,
             "publish",
-            serialize_publication(publication),
+            serialized,
         )
 
 
@@ -151,9 +155,12 @@ class Broker:
                 delivered.append((client, subscription_id))
             elif where != origin:
                 forward_to.add(where)
+        serialized = None
         for neighbour in sorted(forward_to):
+            if serialized is None:
+                serialized = serialize_publication(publication)
             link = self.links[neighbour]
-            envelope = link.seal_publication(publication)
+            envelope = link.seal_publication(publication, serialized)
             delivered.extend(
                 link.destination.receive_publication(envelope, self.name)
             )

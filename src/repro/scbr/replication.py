@@ -33,7 +33,7 @@ from repro.scbr.filters import Publication
 from repro.scbr.keyexchange import RouterKeyExchange
 from repro.scbr.messages import (
     EncryptedEnvelope,
-    deserialize_publication,
+    open_notification,
     serialize_publication,
     serialize_subscription,
 )
@@ -280,7 +280,10 @@ class FailoverClient:
         error = None
         for key in reversed(self._keys):
             try:
-                return deserialize_publication(envelope.open(key))
+                publication, _subscription_ids = open_notification(
+                    envelope, key
+                )
+                return publication
             except Exception as exc:  # IntegrityError; try an older key
                 error = exc
         raise error

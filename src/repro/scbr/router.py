@@ -16,12 +16,23 @@ from repro.scbr.keyexchange import (
 )
 from repro.scbr.messages import (
     EncryptedEnvelope,
+    NotificationSealer,
     deserialize_publication,
     deserialize_subscription,
+    open_notification,
     serialize_publication,
     serialize_subscription,
 )
 from repro.sgx.enclave import EnclaveCode
+
+# In-enclave data-plane cycle charges for the publish fan-out (the
+# matching walk is charged by the index through enclave memory; these
+# cover the crypto and serialisation work per notification).  AES-class
+# sealing streams at a few cycles/byte; the setup constant folds nonce
+# derivation, MAC finalisation, and envelope framing.
+SERIALIZE_CYCLES_PER_BYTE = 2
+SEAL_SETUP_CYCLES = 2_000
+SEAL_CYCLES_PER_BYTE = 4
 
 
 def _client_key(ctx, client_id):
@@ -37,6 +48,7 @@ def enclave_setup(ctx, record_bytes=512):
         memory=ctx.memory, record_bytes=record_bytes
     )
     ctx.state["subscriber_of"] = {}
+    ctx.state["notification_sealer"] = NotificationSealer()
     return True
 
 
@@ -56,27 +68,59 @@ def enclave_subscribe(ctx, envelope):
     return subscription.subscription_id
 
 
-def enclave_publish(ctx, envelope):
-    """ECALL: decrypt, match, and emit per-subscriber notifications."""
+def _open_publication(ctx, envelope):
     key = _client_key(ctx, envelope.sender)
     if envelope.kind != "publish":
         raise IntegrityError("expected a publication envelope")
-    publication = deserialize_publication(envelope.open(key))
-    index = ctx.state["index"]
-    matched = index.match(publication)
-    notifications = []
+    return deserialize_publication(envelope.open(key))
+
+
+def _fan_out(ctx, publication):
+    """Match and seal the per-subscriber notifications for a publication.
+
+    The hot path of the router:
+
+    - the publication is serialized exactly once per publish;
+    - matches are grouped (and thereby deduplicated) by subscriber, so
+      a subscriber holding several matching subscriptions receives one
+      envelope carrying all of its matched subscription ids;
+    - each envelope is one sealed batch (one nonce+tag) produced
+      through a cached per-subscriber sealing context.
+
+    Returns sorted ``(subscriber, envelope)`` pairs.
+    """
+    matched = ctx.state["index"].match(publication)
+    if not matched:
+        return []
+    serialized = serialize_publication(publication)
+    ctx.compute(SERIALIZE_CYCLES_PER_BYTE * len(serialized))
+    by_subscriber = {}
+    subscriber_of = ctx.state["subscriber_of"]
     for subscription_id in sorted(matched):
-        subscriber = ctx.state["subscriber_of"][subscription_id]
-        subscriber_key = _client_key(ctx, subscriber)
-        notifications.append(
-            EncryptedEnvelope.seal(
-                subscriber_key,
-                "router",
-                "notify",
-                serialize_publication(publication),
-            )
+        subscriber = subscriber_of[subscription_id]
+        by_subscriber.setdefault(subscriber, []).append(subscription_id)
+    sealer = ctx.state["notification_sealer"]
+    routed = []
+    for subscriber in sorted(by_subscriber):
+        envelope = sealer.seal(
+            subscriber,
+            _client_key(ctx, subscriber),
+            serialized,
+            by_subscriber[subscriber],
         )
-    return notifications
+        ctx.compute(SEAL_SETUP_CYCLES + SEAL_CYCLES_PER_BYTE * len(envelope.blob))
+        routed.append((subscriber, envelope))
+    return routed
+
+
+def enclave_publish(ctx, envelope):
+    """ECALL: decrypt, match, and emit one notification per subscriber."""
+    return [
+        notification
+        for _subscriber, notification in _fan_out(
+            ctx, _open_publication(ctx, envelope)
+        )
+    ]
 
 
 def enclave_publish_routed(ctx, envelope):
@@ -87,28 +131,34 @@ def enclave_publish_routed(ctx, envelope):
     so exposing it leaks nothing new -- but it lets a replicating
     broker keep a per-subscriber redelivery log for failover replay.
     """
-    key = _client_key(ctx, envelope.sender)
-    if envelope.kind != "publish":
-        raise IntegrityError("expected a publication envelope")
-    publication = deserialize_publication(envelope.open(key))
-    index = ctx.state["index"]
-    matched = index.match(publication)
-    routed = []
+    return _fan_out(ctx, _open_publication(ctx, envelope))
+
+
+def enclave_publish_unbatched(ctx, envelope):
+    """ECALL: the seed fan-out path, kept as the A10 ablation baseline.
+
+    Re-serializes the publication and seals a full envelope for every
+    matched *subscription* -- a subscriber with several matching
+    subscriptions receives duplicate notifications.  Nothing should
+    call this outside the benchmark comparing it against
+    :func:`enclave_publish`.
+    """
+    publication = _open_publication(ctx, envelope)
+    matched = ctx.state["index"].match(publication)
+    notifications = []
     for subscription_id in sorted(matched):
         subscriber = ctx.state["subscriber_of"][subscription_id]
         subscriber_key = _client_key(ctx, subscriber)
-        routed.append(
-            (
-                subscriber,
-                EncryptedEnvelope.seal(
-                    subscriber_key,
-                    "router",
-                    "notify",
-                    serialize_publication(publication),
-                ),
-            )
+        serialized = serialize_publication(publication)
+        ctx.compute(SERIALIZE_CYCLES_PER_BYTE * len(serialized))
+        envelope_out = EncryptedEnvelope.seal(
+            subscriber_key, "router", "notify", serialized
         )
-    return routed
+        ctx.compute(
+            SEAL_SETUP_CYCLES + SEAL_CYCLES_PER_BYTE * len(envelope_out.blob)
+        )
+        notifications.append(envelope_out)
+    return notifications
 
 
 def enclave_unsubscribe(ctx, client_id, subscription_id):
@@ -180,6 +230,7 @@ ROUTER_ENTRY_POINTS = {
     "unsubscribe": enclave_unsubscribe,
     "publish": enclave_publish,
     "publish_routed": enclave_publish_routed,
+    "publish_unbatched": enclave_publish_unbatched,
     "stats": enclave_stats,
     "checkpoint": enclave_checkpoint,
     "restore": enclave_restore,
@@ -232,6 +283,12 @@ class ScbrRouter:
         self.publications_routed += 1
         return routed
 
+    def publish_unbatched(self, envelope):
+        """Seed fan-out path (per-subscription sealing); A10 baseline."""
+        notifications = self.enclave.ecall("publish_unbatched", envelope)
+        self.publications_routed += 1
+        return notifications
+
     def stats(self):
         """Operational counters from inside the enclave."""
         return self.enclave.ecall("stats")
@@ -281,4 +338,14 @@ class ScbrClient:
 
     def open_notification(self, envelope):
         """Decrypt a notification addressed to this client."""
-        return deserialize_publication(envelope.open(self.key))
+        publication, _subscription_ids = open_notification(envelope, self.key)
+        return publication
+
+    def open_notification_detail(self, envelope):
+        """Decrypt a notification; returns (publication, matched ids).
+
+        The ids are this client's subscriptions the publication
+        matched -- the batched fan-out delivers them alongside the
+        publication instead of sending one duplicate envelope each.
+        """
+        return open_notification(envelope, self.key)

@@ -1,0 +1,919 @@
+"""The EPC-aware sharded SCBR matching plane.
+
+Figure 3 of the paper is a cliff: once the subscription database
+outgrows the ~93 MB of usable EPC, every matching walk pays EPC paging
+and throughput collapses by ~18x.  The paper's remedy is to keep the
+enclave working set below the EPC limit; this module operationalises
+that remedy by *sharding* the matching plane across worker enclaves on
+separate machines, so no single enclave's resident set ever crosses
+the watermark:
+
+- :class:`EpcWatermarkPolicy` decides when a shard must split -- before
+  its database crosses a fraction of the usable EPC, and (optionally)
+  before the *hot* fraction of its records outgrows the LLC, which is
+  where the first Figure 3 knee actually lives;
+- :class:`ShardPlanner` places subscriptions consistently and
+  covering-aware: a subscription covered by an existing root joins that
+  root's shard, so covering chains stay together and the containment
+  index keeps its pruning power after partitioning;
+- :class:`ShardedMatchingPlane` is the index-level plane used by the
+  memory experiments: one simulated machine (clock, LLC, EPC) per
+  shard, publications matched on every shard in parallel
+  (``ThreadPoolExecutor``, as in the map/reduce driver), virtual
+  latency taken as the slowest shard (the critical path) plus nothing
+  else -- the merge is a set union;
+- :class:`ShardedScbrRouter` is the full enclave-level plane: a
+  client-facing *coordinator* enclave (attested key exchange, covering
+  placement, batched notification fan-out with cached per-subscriber
+  sealing contexts) in front of N *shard* enclaves holding disjoint
+  partitions of the subscription database.
+
+The plane key shared by the coordinator and the shards is provisioned
+over a mutually attested Diffie-Hellman exchange
+(:func:`shard_join_offer` / :func:`coord_enroll_shard` /
+:func:`shard_join_complete`): the untrusted plane driver only relays
+quotes and wrapped keys, and never sees key material -- unlike the
+map/reduce driver, the broker host is part of the threat model.
+"""
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import (
+    AttestationError,
+    ConfigurationError,
+    IntegrityError,
+)
+from repro.crypto.aead import AeadKey, Ciphertext, SealedBatch
+from repro.crypto.dh import DhKeyPair
+from repro.scbr.index import ContainmentIndex, HOT_BYTES
+from repro.scbr.keyexchange import (
+    dh_commitment,
+    enclave_channel_accept,
+    enclave_channel_offer,
+)
+from repro.scbr.messages import (
+    NotificationSealer,
+    deserialize_publication,
+    deserialize_subscription,
+    serialize_subscription,
+)
+from repro.scbr.router import (
+    SEAL_CYCLES_PER_BYTE,
+    SEAL_SETUP_CYCLES,
+    SERIALIZE_CYCLES_PER_BYTE,
+)
+from repro.sgx.costs import DEFAULT_COSTS
+from repro.sgx.enclave import EnclaveCode
+from repro.sgx.memory import EpcModel, SimulatedMemory
+from repro.sim.clock import CycleClock
+
+# Associated-data labels of the intra-plane (coordinator <-> shard)
+# message kinds; all ride the shared plane key.
+_AAD_SUBSCRIPTION = b"plane|subscription"
+_AAD_PUBLICATION = b"plane|publication"
+_AAD_MATCHED = b"plane|matched"
+_AAD_MIGRATE = b"plane|migrate"
+_AAD_JOIN = b"plane|join|"
+
+DEFAULT_RECORD_BYTES = 512
+
+
+class EpcWatermarkPolicy:
+    """When must a shard split?  Before its resident set starts paging.
+
+    Two capacity cliffs bound a shard's database (Figure 3 shows both):
+
+    - the *EPC* cliff: once ``database_bytes`` exceeds the usable EPC,
+      every matching walk page-faults (~18x);
+    - the *LLC* cliff: the matcher touches ``hot_bytes`` per record, so
+      once ``count * lines_per_record`` outgrows the LLC, every visit
+      is an (MEE-decrypted) cache miss (~4-6x) even while the database
+      still fits the EPC.
+
+    ``max_shard_bytes`` is the smaller of the two limits scaled by the
+    watermark fraction; a split triggers when the *next* insert would
+    cross it, so a shard never reaches the limit.  ``llc_aware=False``
+    polices only the paper's EPC boundary.
+    """
+
+    def __init__(self, costs=DEFAULT_COSTS, record_bytes=DEFAULT_RECORD_BYTES,
+                 hot_bytes=HOT_BYTES, watermark=0.85, llc_aware=True):
+        if not 0.0 < watermark <= 1.0:
+            raise ConfigurationError("watermark must be in (0, 1]")
+        self.costs = costs
+        self.record_bytes = record_bytes
+        self.watermark = watermark
+        self.llc_aware = llc_aware
+        limit = watermark * costs.epc_usable
+        if llc_aware:
+            lines_per_record = max(
+                1, -(-hot_bytes // costs.line_size)  # ceil
+            )
+            llc_records = (costs.llc_capacity // costs.line_size) // lines_per_record
+            llc_fit_bytes = llc_records * record_bytes
+            limit = min(limit, watermark * llc_fit_bytes)
+        self.max_shard_bytes = int(limit)
+
+    def needs_split(self, database_bytes, incoming_bytes=None):
+        """Whether admitting ``incoming_bytes`` more would cross the mark."""
+        if incoming_bytes is None:
+            incoming_bytes = self.record_bytes
+        return database_bytes + incoming_bytes > self.max_shard_bytes
+
+    def split_target_bytes(self, database_bytes):
+        """How much to evacuate from a splitting shard (half)."""
+        return database_bytes // 2
+
+    def shards_for(self, total_bytes):
+        """Lower bound on shards needed for ``total_bytes`` of database."""
+        return max(1, -(-total_bytes // self.max_shard_bytes))
+
+
+class ShardPlanner:
+    """Consistent, covering-aware placement of subscriptions on shards.
+
+    Placement is a pure function of the covering flags and the shard
+    loads, so every replica of the planner makes the same decision:
+
+    1. if some shard's forest has a root covering the subscription, the
+       subscription joins the *first* such shard -- it extends a
+       covering chain already living there, and the containment index
+       will file it beneath that root, adding no new root to walk;
+    2. otherwise the least-loaded shard wins (ties broken by position),
+       which keeps partitions balanced under churn.
+
+    Rule 1 has an overload guard: a covering shard running more than
+    ``balance_slack`` bytes ahead of the lightest shard is skipped.
+    Covering workloads concentrate -- popular broad filters attract all
+    their specialisations -- and matching latency is the *slowest*
+    shard, so unbounded colocation would re-serialise the parallel
+    plane.  A chain split this way still matches correctly (results are
+    a union); it merely costs the hot shard's pruning for the spilled
+    subscription.
+    """
+
+    # Generous by default: colocation (pruning) usually beats balance,
+    # so the guard only fires under extreme concentration.
+    BALANCE_SLACK_BYTES = 512 * DEFAULT_RECORD_BYTES
+
+    @staticmethod
+    def choose(cover_flags, loads, balance_slack=BALANCE_SLACK_BYTES):
+        """Pick a shard position given per-shard flags and byte loads."""
+        if len(cover_flags) != len(loads) or not loads:
+            raise ConfigurationError("flags and loads must align, non-empty")
+        lightest = min(loads)
+        for position, flag in enumerate(cover_flags):
+            if flag and loads[position] - lightest <= balance_slack:
+                return position
+        return min(range(len(loads)), key=lambda position: (loads[position], position))
+
+    @staticmethod
+    def place(subscription, indexes, balance_slack=BALANCE_SLACK_BYTES):
+        """Index-level convenience: choose among live index objects."""
+        return ShardPlanner.choose(
+            [index.covers_any_root(subscription) for index in indexes],
+            [index.database_bytes for index in indexes],
+            balance_slack=balance_slack,
+        )
+
+
+class MatchingShard:
+    """One index-level shard: its own machine (clock, LLC, EPC) + index."""
+
+    def __init__(self, shard_id, index_factory, record_bytes, costs,
+                 enclave=True):
+        self.shard_id = shard_id
+        self.clock = CycleClock()
+        if enclave:
+            self.memory = SimulatedMemory(
+                self.clock, costs, enclave=True, epc=EpcModel(costs),
+                name="shard-%d" % shard_id,
+            )
+        else:
+            self.memory = SimulatedMemory(
+                self.clock, costs, name="shard-%d" % shard_id
+            )
+        self.index = index_factory(memory=self.memory,
+                                   record_bytes=record_bytes)
+
+    def match(self, publication):
+        """Match locally; returns (ids, elapsed cycles, visits)."""
+        start = self.clock.now
+        matched = self.index.match(publication)
+        return matched, self.clock.now - start, self.index.visits_last_match
+
+
+class ShardedMatchingPlane:
+    """Index-level sharded matching: the Figure 3 experiment, partitioned.
+
+    Runs the *same* matcher code as the monolithic experiments against
+    N per-shard enclave memories instead of one.  Inserting splits a
+    shard through the :class:`EpcWatermarkPolicy` before it can cross
+    the watermark (whole root subtrees migrate, so covering chains stay
+    intact); matching fans out to every shard on a thread pool and the
+    virtual latency of a publication is the *slowest shard's* cycles --
+    shards are separate machines matching in parallel.
+    """
+
+    def __init__(self, index_factory=ContainmentIndex,
+                 record_bytes=DEFAULT_RECORD_BYTES, costs=DEFAULT_COSTS,
+                 policy=None, enclave=True, initial_shards=1):
+        if initial_shards < 1:
+            raise ConfigurationError("need at least one shard")
+        self.index_factory = index_factory
+        self.record_bytes = record_bytes
+        self.costs = costs
+        self.enclave = enclave
+        self.policy = policy or EpcWatermarkPolicy(costs, record_bytes)
+        self.shards = []
+        for _ in range(initial_shards):
+            self._spawn_shard()
+        self._home = {}
+        self.splits = 0
+        self.migrated = 0
+        self.match_cycles = 0
+        self.last_match_cycles = 0
+        self.visits_last_match = 0
+
+    def _spawn_shard(self):
+        shard = MatchingShard(
+            len(self.shards), self.index_factory, self.record_bytes,
+            self.costs, enclave=self.enclave,
+        )
+        self.shards.append(shard)
+        return shard
+
+    def __len__(self):
+        return len(self._home)
+
+    @property
+    def shard_count(self):
+        return len(self.shards)
+
+    @property
+    def database_bytes(self):
+        """Total database footprint across all shards."""
+        return sum(shard.index.database_bytes for shard in self.shards)
+
+    def shard_sizes(self):
+        """Per-shard database bytes (diagnostics, balance assertions)."""
+        return [shard.index.database_bytes for shard in self.shards]
+
+    def insert(self, subscription):
+        """Place and insert; splits the target shard if it would cross
+        the EPC watermark first."""
+        shard = self.shards[
+            ShardPlanner.place(
+                subscription, [shard.index for shard in self.shards]
+            )
+        ]
+        if self.policy.needs_split(shard.index.database_bytes,
+                                   self.record_bytes):
+            self._split(shard)
+            # Re-place: the covering chain this subscription belongs to
+            # may just have migrated to the new shard.
+            shard = self.shards[
+                ShardPlanner.place(
+                    subscription, [shard.index for shard in self.shards]
+                )
+            ]
+        shard.index.insert(subscription)
+        self._home[subscription.subscription_id] = shard
+        return shard.shard_id
+
+    def _split(self, shard):
+        """Evacuate half of ``shard`` (whole subtrees) to a fresh shard."""
+        target = self.policy.split_target_bytes(shard.index.database_bytes)
+        fresh = self._spawn_shard()
+        moved = shard.index.extract_subtrees(target)
+        for subscription in moved:
+            fresh.index.insert(subscription)
+            self._home[subscription.subscription_id] = fresh
+        self.splits += 1
+        self.migrated += len(moved)
+        return fresh
+
+    def remove(self, subscription_id):
+        """Unsubscribe wherever the subscription lives."""
+        shard = self._home.pop(subscription_id, None)
+        if shard is None:
+            raise ConfigurationError(
+                "no subscription %r in the plane" % subscription_id
+            )
+        return shard.index.remove(subscription_id)
+
+    def match(self, publication):
+        """Union of every shard's matches.
+
+        All shards match concurrently; the plane's virtual latency for
+        the publication is the slowest shard's elapsed cycles (shards
+        are independent machines), accumulated in :attr:`match_cycles`.
+        """
+        shards = self.shards
+        if len(shards) == 1:
+            matched, elapsed, visits = shards[0].match(publication)
+            results = [(matched, elapsed, visits)]
+        else:
+            with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+                results = list(
+                    pool.map(lambda shard: shard.match(publication), shards)
+                )
+        union = set()
+        slowest = 0
+        visits = 0
+        for matched, elapsed, shard_visits in results:
+            union |= matched
+            slowest = max(slowest, elapsed)
+            visits += shard_visits
+        self.last_match_cycles = slowest
+        self.match_cycles += slowest
+        self.visits_last_match = visits
+        return union
+
+    def check_invariants(self):
+        """Every shard's forest invariant, plus disjoint partitions."""
+        seen = set()
+        for shard in self.shards:
+            shard.index.check_invariants()
+            for subscription in shard.index.subscriptions():
+                if subscription.subscription_id in seen:
+                    raise ConfigurationError(
+                        "subscription %r present on two shards"
+                        % subscription.subscription_id
+                    )
+                seen.add(subscription.subscription_id)
+        if seen != set(self._home):
+            raise ConfigurationError("home map out of sync with shards")
+        return True
+
+
+# --- enclave-level plane ------------------------------------------------
+#
+# Shard enclave: holds one partition of the subscription database and
+# the plane key.  Everything entering or leaving is sealed under the
+# plane key; the shard never talks to clients directly.
+
+def _plane_key(ctx):
+    key = ctx.state.get("plane_key")
+    if key is None:
+        raise AttestationError("shard has not joined the plane")
+    return key
+
+
+def _open_plane(ctx, blob, aad):
+    try:
+        return _plane_key(ctx).decrypt(Ciphertext.from_bytes(blob), aad=aad)
+    except IntegrityError as exc:
+        raise IntegrityError("plane message failed authentication") from exc
+
+
+def shard_setup(ctx, shard_id, record_bytes=DEFAULT_RECORD_BYTES,
+                attestation=None, coordinator_measurement=None):
+    """ECALL: initialise an empty partition.
+
+    ``attestation`` / ``coordinator_measurement`` (optional) let the
+    shard verify the coordinator's quote during the join handshake;
+    omitting them models a deployment that pins trust at the client
+    side only.
+    """
+    ctx.state["shard_id"] = shard_id
+    ctx.state["index"] = ContainmentIndex(
+        memory=ctx.memory, record_bytes=record_bytes
+    )
+    ctx.state["owners"] = {}
+    ctx.state["attestation"] = attestation
+    ctx.state["coordinator_measurement"] = coordinator_measurement
+    return True
+
+
+def shard_join_offer(ctx):
+    """ECALL: start the attested join; returns a DH value + report."""
+    dh = DhKeyPair.generate()
+    ctx.state["join_dh"] = dh
+    return {
+        "dh_public": dh.public_value,
+        "report": ctx.report(dh_commitment(dh.public_value)),
+    }
+
+
+def shard_join_complete(ctx, coordinator_public, quote, wrapped_key):
+    """ECALL: finish the join; unwraps the plane key.
+
+    The coordinator's DH value arrives quoted; when the shard was set
+    up with an attestation service it verifies the quote chains to a
+    registered platform, to the pinned coordinator measurement, and to
+    this DH value -- a host substituting its own key exchange cannot
+    produce that quote.
+    """
+    dh = ctx.state.pop("join_dh", None)
+    if dh is None:
+        raise AttestationError("no pending plane join")
+    attestation = ctx.state.get("attestation")
+    if attestation is not None:
+        attestation.verify(
+            quote,
+            expected_measurement=ctx.state.get("coordinator_measurement"),
+            expected_report_data=dh_commitment(coordinator_public),
+        )
+    transport = AeadKey(
+        dh.shared_key(coordinator_public, info=b"scbr-plane-join")
+    )
+    aad = _AAD_JOIN + str(ctx.state["shard_id"]).encode("ascii")
+    key_bytes = transport.decrypt(Ciphertext.from_bytes(wrapped_key), aad=aad)
+    ctx.state["plane_key"] = AeadKey(key_bytes)
+    return True
+
+
+def shard_insert(ctx, blob):
+    """ECALL: admit one plane-sealed subscription into the partition."""
+    subscription = deserialize_subscription(
+        _open_plane(ctx, blob, _AAD_SUBSCRIPTION)
+    )
+    ctx.state["index"].insert(subscription)
+    ctx.state["owners"][subscription.subscription_id] = subscription.subscriber
+    return subscription.subscription_id
+
+
+def shard_covers_root(ctx, blob):
+    """ECALL: placement probe -- does a local root cover this filter?"""
+    subscription = deserialize_subscription(
+        _open_plane(ctx, blob, _AAD_SUBSCRIPTION)
+    )
+    return ctx.state["index"].covers_any_root(subscription)
+
+
+def shard_remove(ctx, subscription_id, client_id):
+    """ECALL: unsubscribe; only the owning client may remove."""
+    owner = ctx.state["owners"].get(subscription_id)
+    if owner is None:
+        raise ConfigurationError(
+            "no subscription %r on this shard" % subscription_id
+        )
+    if owner != client_id:
+        raise IntegrityError(
+            "client %r does not own subscription %r"
+            % (client_id, subscription_id)
+        )
+    ctx.state["index"].remove(subscription_id)
+    del ctx.state["owners"][subscription_id]
+    return True
+
+
+def shard_match(ctx, sealed_publication):
+    """ECALL: match one plane-sealed publication against the partition.
+
+    Returns ``(sealed matches, visits)``: the matches travel back to
+    the coordinator as plane ciphertext carrying ``(subscription_id,
+    subscriber)`` pairs; the visit count is an operational counter the
+    host could read via stats anyway.
+    """
+    publication = deserialize_publication(
+        _open_plane(ctx, sealed_publication, _AAD_PUBLICATION)
+    )
+    index = ctx.state["index"]
+    matched = index.match(publication)
+    owners = ctx.state["owners"]
+    pairs = sorted((sid, owners[sid]) for sid in matched)
+    payload = json.dumps(pairs).encode("utf-8")
+    ctx.compute(SEAL_SETUP_CYCLES + SEAL_CYCLES_PER_BYTE * len(payload))
+    blob = _plane_key(ctx).encrypt(payload, aad=_AAD_MATCHED).to_bytes()
+    return blob, index.visits_last_match
+
+
+def shard_evacuate(ctx, target_bytes):
+    """ECALL: detach whole subtrees totalling >= ``target_bytes``.
+
+    Returns ``(ids, sealed batch)``; the ids let the untrusted driver
+    update its routing table (it learned them at subscribe time), the
+    batch re-seals the full subscriptions for the receiving shard.
+    """
+    index = ctx.state["index"]
+    moved = index.extract_subtrees(target_bytes)
+    owners = ctx.state["owners"]
+    for subscription in moved:
+        del owners[subscription.subscription_id]
+    payloads = [serialize_subscription(s) for s in moved]
+    batch = _plane_key(ctx).encrypt_batch(payloads, aad=_AAD_MIGRATE)
+    return [s.subscription_id for s in moved], batch.to_bytes()
+
+
+def shard_load(ctx, blob):
+    """ECALL: admit a migrated batch (insertion order preserves chains)."""
+    try:
+        payloads = _plane_key(ctx).decrypt_batch(
+            SealedBatch.from_bytes(blob), aad=_AAD_MIGRATE
+        )
+    except IntegrityError as exc:
+        raise IntegrityError("migration batch failed authentication") from exc
+    index = ctx.state["index"]
+    owners = ctx.state["owners"]
+    for payload in payloads:
+        subscription = deserialize_subscription(payload)
+        index.insert(subscription)
+        owners[subscription.subscription_id] = subscription.subscriber
+    return len(payloads)
+
+
+def shard_stats(ctx):
+    """ECALL: operational counters (no content)."""
+    index = ctx.state["index"]
+    return {
+        "shard_id": ctx.state["shard_id"],
+        "subscriptions": len(index),
+        "database_bytes": index.database_bytes,
+        "resident_bytes": ctx.memory.resident_bytes,
+        "visits_last_match": index.visits_last_match,
+    }
+
+
+SHARD_ENTRY_POINTS = {
+    "setup": shard_setup,
+    "join_offer": shard_join_offer,
+    "join_complete": shard_join_complete,
+    "insert": shard_insert,
+    "covers_root": shard_covers_root,
+    "remove": shard_remove,
+    "match": shard_match,
+    "evacuate": shard_evacuate,
+    "load": shard_load,
+    "stats": shard_stats,
+}
+
+SHARD_CODE = EnclaveCode("scbr-shard", SHARD_ENTRY_POINTS)
+
+
+# Coordinator enclave: the client-facing front.  Holds the client
+# channel keys, generates the plane key, enrols shards over attested
+# DH, translates client envelopes into plane messages, and seals the
+# deduplicated per-subscriber notification fan-out.
+
+def _coord_client_key(ctx, client_id):
+    key = ctx.state.get("client_keys", {}).get(client_id)
+    if key is None:
+        raise AttestationError("client %r has not established a key" % client_id)
+    return key
+
+
+def coord_setup(ctx, attestation=None, shard_measurement=None):
+    """ECALL: initialise the coordinator; mints the plane key in-enclave.
+
+    ``attestation`` + ``shard_measurement`` pin which shard code may
+    join the plane; without them any joiner that completes the DH
+    exchange is admitted (trusting-driver mode, as in map/reduce).
+    """
+    ctx.state["plane_key"] = AeadKey.generate()
+    ctx.state["attestation"] = attestation
+    ctx.state["shard_measurement"] = shard_measurement
+    ctx.state["notification_sealer"] = NotificationSealer()
+    ctx.state["pending_publications"] = {}
+    ctx.state["next_token"] = 0
+    return True
+
+
+def coord_enroll_shard(ctx, shard_id, shard_public, quote):
+    """ECALL: verify a shard's join offer and wrap the plane key for it.
+
+    Returns the coordinator's DH value, its own report over that value
+    (for the shard to verify in turn), and the plane key wrapped under
+    the DH-derived transport key.
+    """
+    attestation = ctx.state.get("attestation")
+    if attestation is not None:
+        attestation.verify(
+            quote,
+            expected_measurement=ctx.state.get("shard_measurement"),
+            expected_report_data=dh_commitment(shard_public),
+        )
+    dh = DhKeyPair.generate()
+    transport = AeadKey(dh.shared_key(shard_public, info=b"scbr-plane-join"))
+    aad = _AAD_JOIN + str(shard_id).encode("ascii")
+    wrapped = transport.encrypt(
+        ctx.state["plane_key"].key_bytes, aad=aad
+    ).to_bytes()
+    return {
+        "dh_public": dh.public_value,
+        "report": ctx.report(dh_commitment(dh.public_value)),
+        "wrapped_key": wrapped,
+    }
+
+
+def coord_admit(ctx, envelope):
+    """ECALL: open a client subscription and re-seal it for the plane."""
+    key = _coord_client_key(ctx, envelope.sender)
+    if envelope.kind != "subscribe":
+        raise IntegrityError("expected a subscription envelope")
+    payload = envelope.open(key)
+    subscription = deserialize_subscription(payload)
+    if subscription.subscriber != envelope.sender:
+        raise IntegrityError(
+            "subscription claims subscriber %r but was sent by %r"
+            % (subscription.subscriber, envelope.sender)
+        )
+    blob = ctx.state["plane_key"].encrypt(
+        payload, aad=_AAD_SUBSCRIPTION
+    ).to_bytes()
+    return subscription.subscription_id, blob
+
+
+def coord_authorize(ctx, client_id):
+    """ECALL: assert the caller holds an attested channel."""
+    _coord_client_key(ctx, client_id)
+    return True
+
+
+def coord_ingest(ctx, envelope):
+    """ECALL: open a client publication; seal it *once* for all shards.
+
+    The serialized publication is parked under a token until
+    :func:`coord_finalize` turns the shards' matches into
+    notifications.  One plane ciphertext serves every shard -- they
+    share the plane key, so the fan-out costs one seal regardless of
+    the shard count.
+    """
+    key = _coord_client_key(ctx, envelope.sender)
+    if envelope.kind != "publish":
+        raise IntegrityError("expected a publication envelope")
+    serialized = envelope.open(key)
+    # Validate before fanning out; a malformed publication must fail
+    # here, not on every shard.
+    deserialize_publication(serialized)
+    ctx.compute(SERIALIZE_CYCLES_PER_BYTE * len(serialized))
+    token = ctx.state["next_token"]
+    ctx.state["next_token"] = token + 1
+    ctx.state["pending_publications"][token] = serialized
+    ctx.compute(SEAL_SETUP_CYCLES + SEAL_CYCLES_PER_BYTE * len(serialized))
+    sealed = ctx.state["plane_key"].encrypt(
+        serialized, aad=_AAD_PUBLICATION
+    ).to_bytes()
+    return token, sealed
+
+
+def coord_finalize(ctx, token, match_blobs):
+    """ECALL: merge shard matches into per-subscriber notifications.
+
+    Dedupes by subscriber across *all* shards (a subscriber's matching
+    subscriptions may be spread over several partitions), then seals
+    exactly one envelope per subscriber through the cached sealing
+    contexts.  Returns ``(subscriber, envelope)`` pairs.
+    """
+    serialized = ctx.state["pending_publications"].pop(token, None)
+    if serialized is None:
+        raise ConfigurationError("no pending publication %r" % token)
+    plane_key = ctx.state["plane_key"]
+    by_subscriber = {}
+    for blob in match_blobs:
+        try:
+            payload = plane_key.decrypt(
+                Ciphertext.from_bytes(blob), aad=_AAD_MATCHED
+            )
+        except IntegrityError as exc:
+            raise IntegrityError(
+                "shard match result failed authentication"
+            ) from exc
+        for subscription_id, subscriber in json.loads(payload.decode("utf-8")):
+            by_subscriber.setdefault(subscriber, []).append(subscription_id)
+    sealer = ctx.state["notification_sealer"]
+    routed = []
+    for subscriber in sorted(by_subscriber):
+        envelope = sealer.seal(
+            subscriber,
+            _coord_client_key(ctx, subscriber),
+            serialized,
+            by_subscriber[subscriber],
+        )
+        ctx.compute(SEAL_SETUP_CYCLES + SEAL_CYCLES_PER_BYTE * len(envelope.blob))
+        routed.append((subscriber, envelope))
+    return routed
+
+
+COORD_ENTRY_POINTS = {
+    "setup": coord_setup,
+    "channel_offer": enclave_channel_offer,
+    "channel_accept": enclave_channel_accept,
+    "enroll_shard": coord_enroll_shard,
+    "admit": coord_admit,
+    "authorize": coord_authorize,
+    "ingest": coord_ingest,
+    "finalize": coord_finalize,
+}
+
+COORD_CODE = EnclaveCode("scbr-coordinator", COORD_ENTRY_POINTS)
+
+
+class ShardEnclave:
+    """Host handle of one shard enclave on its own platform."""
+
+    def __init__(self, shard_id, platform, enclave):
+        self.shard_id = shard_id
+        self.platform = platform
+        self.enclave = enclave
+        self.database_bytes = 0  # host mirror, updated by the router
+
+
+class ShardedScbrRouter:
+    """The untrusted driver of the enclave-level sharded matching plane.
+
+    Presents the :class:`~repro.scbr.router.ScbrRouter` surface
+    (``measurement``, ``channel_offer``/``channel_accept``,
+    ``subscribe``/``unsubscribe``/``publish``/``publish_routed``/
+    ``stats``), so :class:`~repro.scbr.router.ScbrClient` works against
+    it unchanged -- clients attest the *coordinator* enclave.
+
+    Virtual-time accounting: the coordinator runs on its platform's
+    clock; every shard is a separate machine with its own clock.  A
+    publish is ``ingest`` (coordinator) + the *slowest* shard's match
+    (they run concurrently on a thread pool) + ``finalize``
+    (coordinator); the sum lands in :attr:`last_publish_cycles`.
+    """
+
+    def __init__(self, platform, shard_platform_factory,
+                 attestation_service=None, shards=2,
+                 record_bytes=DEFAULT_RECORD_BYTES, policy=None,
+                 auto_split=True):
+        if shards < 1:
+            raise ConfigurationError("need at least one shard")
+        self.platform = platform
+        self.shard_platform_factory = shard_platform_factory
+        self.attestation_service = attestation_service
+        self.record_bytes = record_bytes
+        self.policy = policy or EpcWatermarkPolicy(
+            platform.costs, record_bytes
+        )
+        self.auto_split = auto_split
+        self.coordinator = platform.load_enclave(COORD_CODE)
+        self.coordinator.ecall(
+            "setup", attestation_service, SHARD_CODE.measurement
+        )
+        self.shards = []
+        for _ in range(shards):
+            self._spawn_shard()
+        self._home = {}
+        self.publications_routed = 0
+        self.publish_cycles = 0
+        self.last_publish_cycles = 0
+        self.last_visits = 0
+        self.splits = 0
+        self.migrated = 0
+
+    # -- plane membership ----------------------------------------------
+
+    def _spawn_shard(self):
+        """Load a shard enclave on a fresh platform and join it."""
+        shard_id = len(self.shards)
+        platform = self.shard_platform_factory(shard_id)
+        if self.attestation_service is not None:
+            # The infrastructure provider registers new machines with
+            # the verification service; without this, a shard spawned
+            # by a runtime split could never prove its quote.
+            self.attestation_service.register_platform(
+                platform.platform_id, platform.quoting_enclave.public_key
+            )
+        enclave = platform.load_enclave(
+            SHARD_CODE, name="scbr-shard-%d" % shard_id
+        )
+        enclave.ecall(
+            "setup", shard_id, self.record_bytes,
+            self.attestation_service, COORD_CODE.measurement,
+        )
+        # Mutually attested join: the host only relays public DH
+        # values, quotes, and the wrapped key.
+        offer = enclave.ecall("join_offer")
+        shard_quote = platform.quoting_enclave.quote(offer["report"])
+        grant = self.coordinator.ecall(
+            "enroll_shard", shard_id, offer["dh_public"], shard_quote
+        )
+        coordinator_quote = self.platform.quoting_enclave.quote(
+            grant["report"]
+        )
+        enclave.ecall(
+            "join_complete", grant["dh_public"], coordinator_quote,
+            grant["wrapped_key"],
+        )
+        shard = ShardEnclave(shard_id, platform, enclave)
+        self.shards.append(shard)
+        return shard
+
+    @property
+    def measurement(self):
+        """The coordinator's measurement (what clients pin)."""
+        return self.coordinator.measurement
+
+    @property
+    def shard_count(self):
+        return len(self.shards)
+
+    def channel_offer(self, client_id):
+        offer = self.coordinator.ecall("channel_offer", client_id)
+        quote = self.platform.quoting_enclave.quote(offer["report"])
+        return {"dh_public": offer["dh_public"], "quote": quote}
+
+    def channel_accept(self, client_id, client_public):
+        return self.coordinator.ecall(
+            "channel_accept", client_id, client_public
+        )
+
+    # -- subscription plane --------------------------------------------
+
+    def subscribe(self, envelope):
+        """Admit, place (covering-aware), split-if-needed, insert."""
+        subscription_id, blob = self.coordinator.ecall("admit", envelope)
+        shard = self._place(blob)
+        if self.auto_split and self.policy.needs_split(
+            shard.database_bytes, self.record_bytes
+        ):
+            self._split(shard)
+            shard = self._place(blob)
+        shard.enclave.ecall("insert", blob)
+        shard.database_bytes += self.record_bytes
+        self._home[subscription_id] = shard
+        return subscription_id
+
+    def _place(self, blob):
+        flags = [
+            shard.enclave.ecall("covers_root", blob) for shard in self.shards
+        ]
+        loads = [shard.database_bytes for shard in self.shards]
+        return self.shards[ShardPlanner.choose(flags, loads)]
+
+    def _split(self, shard):
+        """Rebalance: evacuate half of ``shard`` onto a fresh shard."""
+        fresh = self._spawn_shard()
+        target = self.policy.split_target_bytes(shard.database_bytes)
+        moved_ids, batch = shard.enclave.ecall("evacuate", target)
+        fresh.enclave.ecall("load", batch)
+        moved_bytes = len(moved_ids) * self.record_bytes
+        shard.database_bytes -= moved_bytes
+        fresh.database_bytes += moved_bytes
+        for subscription_id in moved_ids:
+            self._home[subscription_id] = fresh
+        self.splits += 1
+        self.migrated += len(moved_ids)
+        return fresh
+
+    def unsubscribe(self, client_id, subscription_id):
+        """Authorise at the coordinator, remove at the home shard."""
+        self.coordinator.ecall("authorize", client_id)
+        shard = self._home.get(subscription_id)
+        if shard is None:
+            raise ConfigurationError(
+                "no subscription %r in the plane" % subscription_id
+            )
+        shard.enclave.ecall("remove", subscription_id, client_id)
+        shard.database_bytes -= self.record_bytes
+        del self._home[subscription_id]
+        return True
+
+    # -- publication plane ---------------------------------------------
+
+    def publish_routed(self, envelope):
+        """Route a publication; returns (subscriber, envelope) pairs."""
+        clock = self.platform.clock
+        coordinator_start = clock.now
+        token, sealed = self.coordinator.ecall("ingest", envelope)
+
+        def match_on(shard):
+            start = shard.platform.clock.now
+            blob, visits = shard.enclave.ecall("match", sealed)
+            return blob, visits, shard.platform.clock.now - start
+
+        if len(self.shards) == 1:
+            results = [match_on(self.shards[0])]
+        else:
+            with ThreadPoolExecutor(max_workers=len(self.shards)) as pool:
+                results = list(pool.map(match_on, self.shards))
+        slowest = max(elapsed for _b, _v, elapsed in results)
+        self.last_visits = sum(visits for _b, visits, _e in results)
+        routed = self.coordinator.ecall(
+            "finalize", token, [blob for blob, _v, _e in results]
+        )
+        self.last_publish_cycles = (
+            clock.now - coordinator_start
+        ) + slowest
+        self.publish_cycles += self.last_publish_cycles
+        self.publications_routed += 1
+        return routed
+
+    def publish(self, envelope):
+        """Route a publication; returns the sealed notifications."""
+        return [
+            notification
+            for _subscriber, notification in self.publish_routed(envelope)
+        ]
+
+    # -- observability -------------------------------------------------
+
+    def stats(self):
+        """Aggregated plane counters (one stats ecall per shard)."""
+        per_shard = [shard.enclave.ecall("stats") for shard in self.shards]
+        return {
+            "shards": len(per_shard),
+            "subscriptions": sum(s["subscriptions"] for s in per_shard),
+            "database_bytes": sum(s["database_bytes"] for s in per_shard),
+            "max_shard_bytes": max(
+                (s["database_bytes"] for s in per_shard), default=0
+            ),
+            "splits": self.splits,
+            "migrated": self.migrated,
+            "per_shard": per_shard,
+        }

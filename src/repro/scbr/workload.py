@@ -20,9 +20,10 @@ class ScbrWorkload:
     def __init__(self, seed=0, num_attributes=50, constraints_per_sub=(2, 4),
                  value_range=(0.0, 1000.0), zipf_alpha=0.8,
                  containment_fraction=0.3, eq_fraction=0.15,
-                 range_fraction=0.25):
+                 range_fraction=0.25, num_subscribers=100):
         self.rng = RandomStream(seed).child("scbr")
         self.num_attributes = num_attributes
+        self.num_subscribers = num_subscribers
         self.constraints_per_sub = constraints_per_sub
         self.value_range = value_range
         self.zipf_alpha = zipf_alpha
@@ -97,7 +98,7 @@ class ScbrWorkload:
         subscription = Subscription(
             "sub-%06d" % self._next_id,
             constraints,
-            subscriber="client-%03d" % (self._next_id % 100),
+            subscriber="client-%03d" % (self._next_id % self.num_subscribers),
         )
         self._next_id += 1
         if len(self._history) < 512:

@@ -109,6 +109,10 @@ class LlcModel:
         """Access one cache line; True if it hit."""
         return self._lines.touch(line_id)
 
+    def discard_line(self, line_id):
+        """Drop one line if resident (freed memory stops occupying LLC)."""
+        self._lines.discard(line_id)
+
     def flush(self):
         """Empty the cache."""
         self._lines.clear()
@@ -146,6 +150,11 @@ class EpcModel:
         if not hit:
             self.faults += 1
         return hit
+
+    def discard_page(self, page_id):
+        """Drop one page if resident (an EREMOVE: the page is returned
+        to the free pool without an eviction write-back)."""
+        self._pages.discard(page_id)
 
     def evict_all(self):
         """Drop every resident page (platform reset)."""
@@ -197,11 +206,23 @@ class SimulatedMemory:
         self.name = name
         self.stats = MemoryStats()
         self._next_address = 0
+        self._freed_bytes = 0
+        self._freed_regions = set()
 
     @property
     def allocated_bytes(self):
         """Total bytes handed out so far."""
         return self._next_address
+
+    @property
+    def resident_bytes(self):
+        """Bytes still live: handed out and never freed.
+
+        The bump allocator does not reuse address space, so this -- not
+        :attr:`allocated_bytes` -- is the working-set figure an EPC
+        watermark policy must compare against the usable EPC.
+        """
+        return self._next_address - self._freed_bytes
 
     def allocate(self, size, label=""):
         """Reserve ``size`` contiguous bytes and return the region."""
@@ -218,6 +239,53 @@ class SimulatedMemory:
         if remainder:
             self._next_address += page - remainder
         return self.allocate(size, label)
+
+    def free(self, region):
+        """Release ``region``: its pages leave the EPC, its lines the LLC.
+
+        The bump allocator never reuses addresses, but a freed record
+        must stop contributing to enclave paging pressure: pages fully
+        inside the region are EREMOVEd from the EPC (no eviction
+        write-back) and fully-covered cache lines are dropped.  Pages
+        and lines straddling the region boundary may hold neighbouring
+        live data and stay resident.  Returns the bytes released.
+        """
+        if region is None:
+            return 0
+        if region.end > self._next_address:
+            raise CapacityError(
+                "region [%d, %d) was never allocated here"
+                % (region.base, region.end)
+            )
+        identity = (region.base, region.size)
+        if identity in self._freed_regions:
+            raise CapacityError(
+                "region [%d, %d) already freed" % (region.base, region.end)
+            )
+        self._freed_regions.add(identity)
+        self._freed_bytes += region.size
+        costs = self.costs
+        if self.enclave and self.epc is not None:
+            first_page = -(-region.base // costs.page_size)  # ceil
+            last_page = region.end // costs.page_size        # exclusive
+            for page_id in range(first_page, last_page):
+                self.epc.discard_page((self.name, page_id))
+        first_line = -(-region.base // costs.line_size)
+        last_line = region.end // costs.line_size
+        for line_id in range(first_line, last_line):
+            self.llc.discard_line((self.name, line_id))
+        return region.size
+
+    def watermark_exceeded(self, fraction):
+        """Whether the resident set crossed ``fraction`` of the usable EPC.
+
+        Non-enclave memories never page, so the watermark never trips.
+        This is the signal an EPC-pressure-driven sharding policy polls
+        before admitting more state into one enclave.
+        """
+        if not self.enclave:
+            return False
+        return self.resident_bytes >= fraction * self.costs.epc_usable
 
     def compute(self, cycles):
         """Charge pure computation (identical inside and outside)."""

@@ -113,3 +113,80 @@ class TestEventBus:
         assert bus.next_sequence("a") == 0
         assert bus.next_sequence("a") == 1
         assert bus.next_sequence("b") == 0
+
+
+class TestPublishMany:
+    def _burst(self, bus, topic, count):
+        return [
+            SealedEvent.seal(
+                key(), topic, "s", bus.next_sequence(topic), b"p%d" % i
+            )
+            for i in range(count)
+        ]
+
+    def test_burst_delivered_in_order_after_one_latency(self):
+        env = Environment()
+        bus = EventBus(env, latency=0.002)
+        received = []
+        bus.subscribe("t", lambda event: received.append((env.now, event)))
+        events = self._burst(bus, "t", 5)
+        bus.publish_many(events)
+        env.run()
+        assert [event for _t, event in received] == events
+        # One shared timer: every event lands at the same virtual time.
+        assert all(t == pytest.approx(0.002) for t, _e in received)
+
+    def test_order_preserved_across_topics(self):
+        env = Environment()
+        bus = EventBus(env, latency=0.001)
+        received = []
+        bus.subscribe("a", received.append)
+        bus.subscribe("b", received.append)
+        a0 = SealedEvent.seal(key(), "a", "s", bus.next_sequence("a"), b"0")
+        b0 = SealedEvent.seal(key(), "b", "s", bus.next_sequence("b"), b"1")
+        a1 = SealedEvent.seal(key(), "a", "s", bus.next_sequence("a"), b"2")
+        bus.publish_many([a0, b0, a1])
+        env.run()
+        assert received == [a0, b0, a1]
+
+    def test_subscriber_snapshot_taken_at_publish_time(self):
+        env = Environment()
+        bus = EventBus(env, latency=0.001)
+        received = []
+        unsubscribe = bus.subscribe("t", received.append)
+        events = self._burst(bus, "t", 2)
+        bus.publish_many(events)
+        unsubscribe()  # too late: the burst already snapshotted
+        env.run()
+        assert received == events
+
+    def test_counters_match_single_publish(self):
+        env = Environment()
+        bus = EventBus(env, latency=0.001)
+        bus.subscribe("t", lambda event: None)
+        bus.publish_many(self._burst(bus, "t", 3))
+        env.run()
+        assert bus.published == 3
+        assert bus.delivered == 3
+
+    def test_empty_burst(self):
+        env = Environment()
+        bus = EventBus(env, latency=0.001)
+        bus.publish_many([])
+        env.run()
+        assert bus.published == 0
+
+    def test_reliable_bus_retains_burst_for_redelivery(self):
+        from repro.microservices.eventbus import ReliableEventBus
+
+        env = Environment()
+        bus = ReliableEventBus(env, latency=0.001, retention=8)
+        bus.subscribe("t", lambda event: None)
+        events = self._burst(bus, "t", 3)
+        bus.publish_many(events)
+        env.run()
+        assert bus.retained_sequences("t") == [0, 1, 2]
+        redelivered = []
+        bus.redeliver("t", [1], handler=redelivered.append)
+        env.run()
+        assert [event.sequence for event in redelivered] == [1]

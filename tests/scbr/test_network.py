@@ -155,8 +155,8 @@ class TestLinkConfidentiality:
         link = network.brokers["a"].links["b"]
         original = link.seal_publication
 
-        def capture(publication):
-            envelope = original(publication)
+        def capture(publication, serialized=None):
+            envelope = original(publication, serialized)
             captured.append(envelope.blob)
             return envelope
 

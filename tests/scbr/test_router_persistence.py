@@ -45,9 +45,14 @@ class TestCheckpointRestore:
         alice2 = ScbrClient("alice", revived, attestation)
         bob = ScbrClient("bob", revived, attestation)
         notifications = bob.publish(Publication({"temp": 90}))
-        assert len(notifications) == 2
-        for envelope in notifications:
-            alice2.open_notification(envelope)
+        # Both subscriptions matched, but alice receives one deduplicated
+        # envelope carrying both matched ids.
+        assert len(notifications) == 1
+        publication, matched = alice2.open_notification_detail(
+            notifications[0]
+        )
+        assert publication.attributes == {"temp": 90}
+        assert matched == ["s1", "s2"]
 
     def test_checkpoint_is_opaque_to_host(self, world):
         _platform, attestation, router = world

@@ -84,6 +84,70 @@ class TestIndexRemoval:
         for publication in workload.publications(8):
             assert index.match(publication) == naive.match(publication)
 
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.data())
+    def test_interleaved_churn_preserves_equivalence(self, seed, data):
+        """Randomly interleaved inserts and removes: the forest must
+        stay invariant-clean *throughout*, not just at the end --
+        re-parenting on remove happens while later inserts still
+        descend through the affected chains."""
+        workload = ScbrWorkload(seed=seed, num_attributes=8,
+                                containment_fraction=0.6)
+        subscriptions = workload.subscriptions(50)
+        publications = workload.publications(6)
+        index = ContainmentIndex()
+        naive = LinearIndex()
+        live = []
+        for subscription in subscriptions:
+            index.insert(subscription)
+            naive.insert(subscription)
+            live.append(subscription.subscription_id)
+            if len(live) > 1 and data.draw(st.booleans()):
+                victim = live.pop(
+                    data.draw(st.integers(0, len(live) - 1))
+                )
+                index.remove(victim)
+                naive.remove(victim)
+                index.check_invariants()
+        index.check_invariants()
+        assert len(index) == len(live)
+        for publication in publications:
+            assert index.match(publication) == naive.match(publication)
+
+
+class TestIndexMemoryRelease:
+    def _enclave_memory(self):
+        from repro.sgx.costs import DEFAULT_COSTS
+        from repro.sgx.memory import EpcModel, SimulatedMemory
+        from repro.sim.clock import CycleClock
+
+        costs = DEFAULT_COSTS
+        return SimulatedMemory(
+            CycleClock(), costs, enclave=True, epc=EpcModel(costs),
+            name="scbr",
+        )
+
+    def test_remove_releases_enclave_memory(self):
+        memory = self._enclave_memory()
+        index = ContainmentIndex(memory=memory, record_bytes=4096)
+        for position in range(8):
+            index.insert(sub("s%d" % position, 100 - position))
+        assert memory.resident_bytes == 8 * 4096
+        index.remove("s3")
+        index.remove("s7")
+        assert memory.resident_bytes == 6 * 4096
+        # Allocation is bump-only: the high-water mark is unchanged.
+        assert memory.allocated_bytes == 8 * 4096
+
+    def test_reinsert_allocates_a_fresh_region(self):
+        memory = self._enclave_memory()
+        index = ContainmentIndex(memory=memory, record_bytes=4096)
+        index.insert(sub("a", 100))
+        index.remove("a")
+        index.insert(sub("a", 50))
+        assert memory.resident_bytes == 4096
+        assert memory.allocated_bytes == 2 * 4096
+
 
 class TestLinearRemoval:
     def test_remove(self):

@@ -282,3 +282,74 @@ class TestLlcModel:
         mem_a.access(region_a)
         mem_b.access(region_b)  # same address range, different namespace
         assert mem_b.stats.llc_misses == 1
+
+
+class TestFree:
+    def test_free_reduces_resident_not_allocated(self):
+        mem = enclave_memory()
+        region = mem.allocate(512)
+        assert mem.free(region) == 512
+        assert mem.resident_bytes == 0
+        assert mem.allocated_bytes == 512
+
+    def test_free_none_is_a_noop(self):
+        assert enclave_memory().free(None) == 0
+
+    def test_double_free_rejected(self):
+        mem = enclave_memory()
+        region = mem.allocate(512)
+        mem.free(region)
+        with pytest.raises(CapacityError):
+            mem.free(region)
+
+    def test_unallocated_region_rejected(self):
+        from repro.sgx.memory import MemoryRegion
+
+        mem = enclave_memory()
+        with pytest.raises(CapacityError):
+            mem.free(MemoryRegion(0, 4096, "ghost"))
+
+    def test_freed_pages_leave_the_epc(self):
+        costs = tiny_costs()
+        mem = enclave_memory(costs)
+        region = mem.allocate_aligned(costs.page_size)
+        mem.access(region, size=costs.page_size)
+        faults = mem.stats.page_faults
+        mem.access(region, size=costs.page_size)
+        assert mem.stats.page_faults == faults  # resident: no new fault
+        mem.free(region)
+        fresh = mem.allocate_aligned(costs.page_size)
+        mem.access(fresh, size=costs.page_size)
+        # The freed page was EREMOVEd, so the fresh page fits without
+        # evicting anything -- and re-touching the freed range would
+        # have to fault again.
+        assert mem.stats.page_faults == faults + 1
+
+    def test_straddling_page_stays_resident(self):
+        costs = tiny_costs()
+        mem = enclave_memory(costs)
+        whole = mem.allocate_aligned(costs.page_size)
+        mem.access(whole, size=costs.page_size)
+        faults = mem.stats.page_faults
+        # Free only half the page: the page holds live neighbours and
+        # must stay in the EPC.
+        from repro.sgx.memory import MemoryRegion
+
+        half = MemoryRegion(whole.base, costs.page_size // 2, "half")
+        mem.free(half)
+        mem.access(whole, offset=costs.page_size // 2,
+                   size=costs.page_size // 2)
+        assert mem.stats.page_faults == faults
+
+    def test_watermark_clears_after_free(self):
+        costs = tiny_costs()
+        mem = enclave_memory(costs)
+        regions = [mem.allocate(costs.page_size) for _ in range(2)]
+        assert mem.watermark_exceeded(0.5)
+        mem.free(regions[0])
+        assert not mem.watermark_exceeded(0.5)
+
+    def test_native_memory_never_trips_the_watermark(self):
+        mem = native_memory()
+        mem.allocate(1 << 20)
+        assert not mem.watermark_exceeded(0.01)
