@@ -22,16 +22,18 @@ bench:
 bench-smoke:
 	$(PYTHON) -m repro.cli smoke
 
-# Performance gate: run A1 and A10 in smoke mode and fail if any gated
-# metric (visits/match, virtual_ms/match, virtual_ms/pub) regressed
-# more than 10% against the checked-in benchmarks/out/gate_*.json
-# baselines.  Regenerate baselines with:
+# Performance gate: run A1, A10, and E6 in smoke mode and fail if any
+# gated metric (visits/match, virtual_ms/match, virtual_ms/pub,
+# recover_ms_med, silent_loss) regressed more than 10% against the
+# checked-in benchmarks/out/gate_*.json baselines.  Regenerate with:
 #   $(PYTHON) -m repro.cli gate --update
 bench-gate:
 	$(PYTHON) -m repro.cli gate
 
 # Smoke run plus the chaos determinism gate: the E5 fault-injection
-# scenarios must produce identical results across two same-seed runs.
+# scenarios and the E6 sharded-plane failover scenarios must produce
+# identical results (fault log and delivery set) across two same-seed
+# runs.
 chaos-smoke:
 	$(PYTHON) -m repro.cli smoke --chaos
 

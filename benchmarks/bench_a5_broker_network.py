@@ -10,11 +10,11 @@ with identical delivery results.
 
 import pytest
 
-from repro.scbr.index import ContainmentIndex
 from repro.scbr.network import ScbrNetwork
 from repro.scbr.workload import ScbrWorkload
 
 from benchmarks._harness import report
+from tests.scbr.oracle import oracle_workload_deliveries
 
 BROKERS = ("edge-0", "edge-1", "core", "edge-2")
 SUBSCRIPTIONS = 600
@@ -56,20 +56,14 @@ def _build_network(covering_enabled):
 def _oracle_deliveries():
     """What a single all-knowing matcher would deliver, per publication.
 
-    One ContainmentIndex holding every subscription in the network is
-    the ground truth the distributed overlay must reproduce exactly --
-    routing (with or without covering) changes where matching happens,
-    never what is delivered.
+    Shared referee (``tests.scbr.oracle``): routing -- with or without
+    covering -- changes where matching happens, never what is
+    delivered.
     """
-    workload = ScbrWorkload(seed=21, num_attributes=10,
-                            containment_fraction=0.7)
-    index = ContainmentIndex()
-    for subscription in workload.subscriptions(SUBSCRIPTIONS):
-        index.insert(subscription)
-    return [
-        sorted(index.match(publication))
-        for publication in workload.publications(PUBLICATIONS)
-    ]
+    return oracle_workload_deliveries(
+        seed=21, num_attributes=10, containment_fraction=0.7,
+        num_subscriptions=SUBSCRIPTIONS, num_publications=PUBLICATIONS,
+    )
 
 
 def run_a5():

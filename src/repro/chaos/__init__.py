@@ -19,6 +19,7 @@ from repro.chaos.injector import ChaosConfig, ChaosInjector, FaultSchedule
 from repro.chaos.wrappers import (
     ChaosBus,
     ChaosNetwork,
+    ChaosShardPlane,
     ChaosSyscallExecutor,
     ChaosVolume,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "ChaosConfig",
     "ChaosInjector",
     "ChaosNetwork",
+    "ChaosShardPlane",
     "ChaosSyscallExecutor",
     "ChaosVolume",
     "FaultSchedule",

@@ -37,6 +37,9 @@ class ChaosConfig:
     message_delay_max: float = 0.002     # extra virtual seconds
     # Broker-plane faults.
     notification_drop_rate: float = 0.0  # per (subscriber, sequence)
+    # Sharded matching-plane faults.
+    shard_crash_rate: float = 0.0        # per (shard, operation)
+    heartbeat_loss_rate: float = 0.0     # per (shard, beat sequence)
     # Transfer-stream corruption, per (transfer, frame, attempt).
     frame_corruption_rate: float = 0.0
     # Untrusted-store hiccups, per (operation, path, attempt).
@@ -49,7 +52,8 @@ class ChaosConfig:
         for name in (
             "mapper_crash_rate", "reducer_crash_rate", "message_drop_rate",
             "message_duplicate_rate", "message_delay_rate",
-            "notification_drop_rate", "frame_corruption_rate",
+            "notification_drop_rate", "shard_crash_rate",
+            "heartbeat_loss_rate", "frame_corruption_rate",
             "storage_failure_rate", "syscall_stall_rate",
         ):
             rate = getattr(self, name)
@@ -140,6 +144,27 @@ class ChaosInjector:
             subscriber, sequence,
         )
 
+    def crashes_shard(self, shard_id, operation):
+        """Does shard enclave ``shard_id`` crash before ``operation``?
+
+        ``operation`` is a per-plane operation counter (the publish or
+        mutation index), so the crash schedule is a pure function of
+        the seed and the workload position, not of wall-clock timing.
+        """
+        return self._happens(
+            self.config.shard_crash_rate, "shard-crash", shard_id, operation
+        )
+
+    def drops_heartbeat(self, shard_id, beat):
+        """Is heartbeat ``beat`` from shard ``shard_id`` lost in flight?
+
+        A lost heartbeat leaves the shard alive but silent -- the
+        failure detector's false-positive fodder.
+        """
+        return self._happens(
+            self.config.heartbeat_loss_rate, "heartbeat-loss", shard_id, beat
+        )
+
     def corrupts_frame(self, transfer_id, frame_index, attempt=0):
         """Is transfer frame ``frame_index`` corrupted in flight?"""
         return self._happens(
@@ -222,14 +247,58 @@ class FaultSchedule:
             time, self._fire("service-recover", service.name, service.recover)
         )
 
+    def fail_at(self, time, target, kind=None, name=None):
+        """Destroy ``target`` at virtual ``time``, whatever it is.
+
+        Target-agnostic failure scheduling: anything exposing one of
+        the conventional kill switches can be scheduled --
+
+        - ``fail_active()`` (a :class:`~repro.scbr.ReplicatedBroker`),
+          recorded as ``broker-failure``;
+        - ``fail()``, recorded as ``target-failure``;
+        - a bare callable, recorded as ``target-failure``.
+
+        For killing one shard of a sharded plane, use
+        :meth:`crash_shard_at` (the shard id is part of the record).
+        """
+        if callable(target):
+            action = target
+            default_kind = "target-failure"
+        elif hasattr(target, "fail_active"):
+            action = target.fail_active
+            default_kind = "broker-failure"
+        elif hasattr(target, "fail"):
+            action = target.fail
+            default_kind = "target-failure"
+        else:
+            raise ConfigurationError(
+                "cannot fail %r: expected fail_active(), fail(), or a "
+                "callable" % (target,)
+            )
+        if name is None:
+            name = getattr(target, "name", None) or getattr(
+                target, "__name__", "target"
+            )
+        return self.env.call_at(
+            time, self._fire(kind or default_kind, name, action)
+        )
+
     def fail_broker_at(self, time, replicated_broker):
-        """Destroy the active broker replica at virtual ``time``."""
+        """Destroy the active broker replica at virtual ``time``.
+
+        Thin alias of :meth:`fail_at`, kept for existing call sites.
+        """
+        return self.fail_at(time, replicated_broker)
+
+    def crash_shard_at(self, time, plane, shard_id):
+        """Destroy shard ``shard_id`` of a sharded matching plane at
+        virtual ``time`` (records the shard id in the fault log)."""
         return self.env.call_at(
             time,
             self._fire(
-                "broker-failure",
-                getattr(replicated_broker, "name", "broker"),
-                replicated_broker.fail_active,
+                "shard-crash",
+                "%s/shard-%d" % (getattr(plane, "name", "plane"), shard_id),
+                lambda: plane.fail_shard(shard_id),
             ),
         )
 

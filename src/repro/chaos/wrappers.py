@@ -148,6 +148,45 @@ class ChaosNetwork:
         return sent
 
 
+class ChaosShardPlane:
+    """Wraps a sharded SCBR plane; crashes shard enclaves mid-stream.
+
+    Before forwarding each publish, consults the injector once per
+    *live* shard with a monotonically increasing operation index, and
+    destroys the shards the seed selects (via the plane's
+    ``fail_shard``).  The plane's own detection/recovery machinery --
+    heartbeats, sealed-snapshot respawn, coverage-tracked publish --
+    then has to notice and heal; the wrapper only breaks things.
+    """
+
+    def __init__(self, plane, injector):
+        self.plane = plane
+        self.injector = injector
+        self._operation = 0
+        self.crashes_injected = 0
+
+    def __getattr__(self, name):
+        return getattr(self.plane, name)
+
+    def _maybe_crash(self):
+        operation = self._operation
+        self._operation += 1
+        for shard in list(self.plane.shards):
+            if shard.enclave.destroyed:
+                continue
+            if self.injector.crashes_shard(shard.shard_id, operation):
+                self.crashes_injected += 1
+                self.plane.fail_shard(shard.shard_id)
+
+    def publish_routed(self, envelope):
+        self._maybe_crash()
+        return self.plane.publish_routed(envelope)
+
+    def publish(self, envelope):
+        self._maybe_crash()
+        return self.plane.publish(envelope)
+
+
 class ChaosSyscallExecutor:
     """Wraps a syscall executor; stalls chosen calls in the host kernel.
 

@@ -28,6 +28,8 @@ EXPERIMENTS = {
            "orchestration anomaly-detection latency"),
     "e5": ("benchmarks.bench_e5_chaos_recovery", "run_e5",
            "chaos recovery: detection-to-recovery latency and goodput"),
+    "e6": ("benchmarks.bench_e6_shard_failover", "run_e6",
+           "sharded-plane failover: detection, sealed recovery, coverage"),
     "f1": ("benchmarks.bench_f1_event_bus", "run_f1",
            "Figure 1 architecture, executable"),
     "f2": ("benchmarks.bench_f2_secure_containers", "run_f2",
@@ -66,6 +68,7 @@ EXPERIMENTS = {
 GATE_SPECS = {
     "a1": ("gate_a1", "A1_HEADER", {1: "visits/match", 3: "virtual_ms/match"}),
     "a10": ("gate_a10", "A10_HEADER", {1: "virtual_ms/pub"}),
+    "e6": ("gate_e6", "E6_HEADER", {5: "recover_ms_med", 7: "silent_loss"}),
 }
 GATE_TOLERANCE = 0.10
 
@@ -144,25 +147,32 @@ def run_smoke():
 def run_chaos_check():
     """Determinism gate for the chaos layer (``smoke --chaos``).
 
-    Runs the E5 chaos-recovery scenarios twice with the same seed and
-    fails unless both passes produce identical rows -- seeded fault
-    injection must be reproducible or every chaos test is flaky by
-    construction.
+    Runs the E5 chaos-recovery scenarios and the E6 sharded-plane
+    failover scenarios twice each with the same seed and fails unless
+    both passes produce identical rows -- seeded fault injection (and
+    the fault log / delivery set it produces) must be reproducible or
+    every chaos test is flaky by construction.
     """
-    _module, run_e5 = _load("e5")
     start = time.perf_counter()
-    first = run_e5(smoke=True)
-    second = run_e5(smoke=True)
-    if first != second:
-        print("chaos determinism FAILED: two same-seed runs diverged")
-        for row_a, row_b in zip(first, second):
-            marker = "  " if row_a == row_b else "!="
-            print("%s %r | %r" % (marker, row_a, row_b))
-        return 1
-    _render("e5", first)
+    total = 0
+    for experiment_id in ("e5", "e6"):
+        _module, function = _load(experiment_id)
+        first = function(smoke=True)
+        second = function(smoke=True)
+        if first != second:
+            print(
+                "chaos determinism FAILED: two same-seed %s runs diverged"
+                % experiment_id
+            )
+            for row_a, row_b in zip(first, second):
+                marker = "  " if row_a == row_b else "!="
+                print("%s %r | %r" % (marker, row_a, row_b))
+            return 1
+        _render(experiment_id, first)
+        total += len(first)
     print(
         "chaos determinism ok: %d scenarios identical across two runs "
-        "(%.1fs)" % (len(first), time.perf_counter() - start)
+        "(%.1fs)" % (total, time.perf_counter() - start)
     )
     return 0
 

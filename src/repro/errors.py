@@ -101,6 +101,23 @@ class BrokerUnavailableError(TransientError):
     """A pub/sub broker stopped responding; fail over or retry."""
 
 
+class PartialCoverageError(TransientError):
+    """A sharded matching plane answered with partitions missing.
+
+    Raised (or wrapped into a ``PartialCoverage`` result) when one or
+    more shard enclaves failed to match a publication: the match set
+    may be silently smaller than the full database would produce, which
+    a no-silent-loss plane must never return as if it were complete.
+    Transient: the missing shards can be respawned from their sealed
+    snapshots and the publication retried.  Carries the missing
+    partition ids in :attr:`missing`.
+    """
+
+    def __init__(self, message, missing=()):
+        super().__init__(message)
+        self.missing = tuple(missing)
+
+
 class StorageUnavailableError(TransientError):
     """The untrusted store refused an I/O operation transiently."""
 

@@ -49,6 +49,31 @@ class Detection:
         return self.detected_at - self.onset
 
 
+@dataclass
+class RecoveryEpisode:
+    """One detection-to-recovery episode reported by a subsystem.
+
+    ``recovery_seconds`` is the virtual time the healing work itself
+    took (respawn, re-attestation, state reload, replay), as measured
+    by the reporting subsystem on whatever clock its work is charged
+    to; ``detected_at``/``onset`` are on the orchestrator's simulated
+    clock, mirroring :class:`Detection`.
+    """
+
+    service_name: str
+    kind: str
+    detected_at: float
+    recovery_seconds: float
+    onset: Optional[float] = None
+
+    @property
+    def detection_latency(self):
+        """Seconds from (externally recorded) onset to detection."""
+        if self.onset is None:
+            return None
+        return self.detected_at - self.onset
+
+
 class Orchestrator:
     """Samples QoS state and adapts the application."""
 
@@ -63,6 +88,7 @@ class Orchestrator:
         self.policy = policy or OrchestratorPolicy()
         self.on_detection = on_detection
         self.detections = []
+        self.recoveries = []
         self.reactions = 0
         self._onsets = {}
         self._flagged = set()
@@ -85,6 +111,27 @@ class Orchestrator:
         if onset is not None:
             self._onsets[name] = onset
         self._detect(name, kind, self.env.now)
+
+    def report_recovery(self, name, kind, recovery_seconds,
+                        detected_at=None, onset=None):
+        """Record a completed detection-to-recovery episode.
+
+        Self-healing subsystems (broker failover, shard respawn) call
+        this once the replacement is serving again, so a single log
+        carries every episode's onset, detection time, and how long the
+        healing work took in virtual time.
+        """
+        episode = RecoveryEpisode(
+            service_name=name,
+            kind=kind,
+            detected_at=(
+                detected_at if detected_at is not None else self.env.now
+            ),
+            recovery_seconds=recovery_seconds,
+            onset=onset if onset is not None else self._onsets.get(name),
+        )
+        self.recoveries.append(episode)
+        return episode
 
     def start(self, duration):
         """Run the sampling loop for ``duration`` of virtual time."""
@@ -169,3 +216,7 @@ class Orchestrator:
             for detection in self.detections
             if detection.detection_latency is not None
         ]
+
+    def recovery_latencies(self):
+        """Virtual seconds each reported recovery episode took to heal."""
+        return [episode.recovery_seconds for episode in self.recoveries]

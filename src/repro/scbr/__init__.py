@@ -17,10 +17,18 @@ between filters so fewer comparisons are needed per publication.
 - :mod:`~repro.scbr.router` -- the enclave-hosted router.
 - :mod:`~repro.scbr.replication` -- primary/standby broker failover
   with sealed-checkpoint restore and exactly-once replay.
+- :mod:`~repro.scbr.sharding` -- the EPC-aware sharded matching plane.
+- :mod:`~repro.scbr.health` -- phi-accrual failure detection for the
+  sharded plane's shard enclaves.
 """
 
 from repro.scbr.compact import HotColdIndex
 from repro.scbr.filters import Constraint, Operator, Publication, Subscription
+from repro.scbr.health import (
+    ShardDetection,
+    ShardHealthMonitor,
+    ShardHealthPolicy,
+)
 from repro.scbr.index import ContainmentIndex
 from repro.scbr.naive import LinearIndex
 from repro.scbr.network import Broker, ScbrNetwork
@@ -29,16 +37,25 @@ from repro.scbr.messages import EncryptedEnvelope
 from repro.scbr.keyexchange import RouterKeyExchange
 from repro.scbr.replication import FailoverClient, ReplicatedBroker
 from repro.scbr.router import ScbrClient, ScbrRouter
+from repro.scbr.sharding import (
+    EpcWatermarkPolicy,
+    PartialCoverage,
+    ShardedMatchingPlane,
+    ShardedScbrRouter,
+    ShardPlanner,
+)
 
 __all__ = [
     "Broker",
     "Constraint",
     "ContainmentIndex",
     "EncryptedEnvelope",
+    "EpcWatermarkPolicy",
     "FailoverClient",
     "HotColdIndex",
     "LinearIndex",
     "Operator",
+    "PartialCoverage",
     "Publication",
     "ReplicatedBroker",
     "RouterKeyExchange",
@@ -46,5 +63,11 @@ __all__ = [
     "ScbrNetwork",
     "ScbrRouter",
     "ScbrWorkload",
+    "ShardDetection",
+    "ShardedMatchingPlane",
+    "ShardedScbrRouter",
+    "ShardHealthMonitor",
+    "ShardHealthPolicy",
+    "ShardPlanner",
     "Subscription",
 ]

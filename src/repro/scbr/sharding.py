@@ -38,14 +38,20 @@ map/reduce driver, the broker host is part of the threat model.
 
 import json
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 from repro.errors import (
     AttestationError,
     ConfigurationError,
+    EnclaveLostError,
     IntegrityError,
+    PartialCoverageError,
 )
 from repro.crypto.aead import AeadKey, Ciphertext, SealedBatch
 from repro.crypto.dh import DhKeyPair
+from repro.retry import BackoffClock, RetryPolicy, retry_call
+from repro.scbr.health import ShardHealthMonitor
 from repro.scbr.index import ContainmentIndex, HOT_BYTES
 from repro.scbr.keyexchange import (
     dh_commitment,
@@ -66,7 +72,7 @@ from repro.scbr.router import (
 from repro.sgx.costs import DEFAULT_COSTS
 from repro.sgx.enclave import EnclaveCode
 from repro.sgx.memory import EpcModel, SimulatedMemory
-from repro.sim.clock import CycleClock
+from repro.sim.clock import CycleClock, cycles_to_seconds
 
 # Associated-data labels of the intra-plane (coordinator <-> shard)
 # message kinds; all ride the shared plane key.
@@ -74,6 +80,7 @@ _AAD_SUBSCRIPTION = b"plane|subscription"
 _AAD_PUBLICATION = b"plane|publication"
 _AAD_MATCHED = b"plane|matched"
 _AAD_MIGRATE = b"plane|migrate"
+_AAD_SNAPSHOT = b"plane|snapshot"
 _AAD_JOIN = b"plane|join|"
 
 DEFAULT_RECORD_BYTES = 512
@@ -378,10 +385,12 @@ def shard_setup(ctx, shard_id, record_bytes=DEFAULT_RECORD_BYTES,
     side only.
     """
     ctx.state["shard_id"] = shard_id
+    ctx.state["record_bytes"] = record_bytes
     ctx.state["index"] = ContainmentIndex(
         memory=ctx.memory, record_bytes=record_bytes
     )
     ctx.state["owners"] = {}
+    ctx.state["version"] = 0
     ctx.state["attestation"] = attestation
     ctx.state["coordinator_measurement"] = coordinator_measurement
     return True
@@ -432,6 +441,7 @@ def shard_insert(ctx, blob):
     )
     ctx.state["index"].insert(subscription)
     ctx.state["owners"][subscription.subscription_id] = subscription.subscriber
+    ctx.state["version"] += 1
     return subscription.subscription_id
 
 
@@ -457,6 +467,7 @@ def shard_remove(ctx, subscription_id, client_id):
         )
     ctx.state["index"].remove(subscription_id)
     del ctx.state["owners"][subscription_id]
+    ctx.state["version"] += 1
     return True
 
 
@@ -464,9 +475,12 @@ def shard_match(ctx, sealed_publication):
     """ECALL: match one plane-sealed publication against the partition.
 
     Returns ``(sealed matches, visits)``: the matches travel back to
-    the coordinator as plane ciphertext carrying ``(subscription_id,
-    subscriber)`` pairs; the visit count is an operational counter the
-    host could read via stats anyway.
+    the coordinator as plane ciphertext carrying this shard's id and
+    its ``(subscription_id, subscriber)`` pairs; the id lets the
+    coordinator account *coverage* -- which partitions actually
+    answered -- so a missing shard can never silently shrink a match
+    set.  The visit count is an operational counter the host could
+    read via stats anyway.
     """
     publication = deserialize_publication(
         _open_plane(ctx, sealed_publication, _AAD_PUBLICATION)
@@ -475,7 +489,9 @@ def shard_match(ctx, sealed_publication):
     matched = index.match(publication)
     owners = ctx.state["owners"]
     pairs = sorted((sid, owners[sid]) for sid in matched)
-    payload = json.dumps(pairs).encode("utf-8")
+    payload = json.dumps(
+        {"shard": ctx.state["shard_id"], "pairs": pairs}
+    ).encode("utf-8")
     ctx.compute(SEAL_SETUP_CYCLES + SEAL_CYCLES_PER_BYTE * len(payload))
     blob = _plane_key(ctx).encrypt(payload, aad=_AAD_MATCHED).to_bytes()
     return blob, index.visits_last_match
@@ -493,6 +509,8 @@ def shard_evacuate(ctx, target_bytes):
     owners = ctx.state["owners"]
     for subscription in moved:
         del owners[subscription.subscription_id]
+    if moved:
+        ctx.state["version"] += 1
     payloads = [serialize_subscription(s) for s in moved]
     batch = _plane_key(ctx).encrypt_batch(payloads, aad=_AAD_MIGRATE)
     return [s.subscription_id for s in moved], batch.to_bytes()
@@ -515,6 +533,88 @@ def shard_load(ctx, blob):
     return len(payloads)
 
 
+def shard_ping(ctx):
+    """ECALL: liveness heartbeat; cheap on purpose.
+
+    The plane driver pings each shard every heartbeat period and feeds
+    the arrivals to the failure detector; a destroyed enclave raises
+    :class:`~repro.errors.EnclaveLostError` instead of answering, so
+    suspicion accrues.  The version lets the host notice a stale
+    snapshot without opening anything.
+    """
+    return {"shard_id": ctx.state["shard_id"], "version": ctx.state["version"]}
+
+
+def shard_snapshot(ctx):
+    """ECALL: seal the whole partition under the *plane* key.
+
+    Deliberately not platform sealing: platform seal keys derive from
+    per-machine fuse secrets, so a snapshot sealed that way dies with
+    the machine.  Sealing under the plane key means any replacement
+    shard that completes the attested join -- on a brand-new platform --
+    can restore the partition, while the untrusted host storing the
+    blob still sees only ciphertext.
+
+    Returns ``(version, sealed batch)``; payload 0 is a header binding
+    the shard id, version, and record count, so a host feeding shard
+    A's snapshot to shard B, or an old snapshot truncated short, fails
+    closed.
+    """
+    index = ctx.state["index"]
+    subscriptions = list(index.subscriptions())
+    header = json.dumps({
+        "shard_id": ctx.state["shard_id"],
+        "version": ctx.state["version"],
+        "count": len(subscriptions),
+    }).encode("utf-8")
+    payloads = [header] + [serialize_subscription(s) for s in subscriptions]
+    total = sum(len(p) for p in payloads)
+    ctx.compute(SEAL_SETUP_CYCLES + SEAL_CYCLES_PER_BYTE * total)
+    batch = _plane_key(ctx).encrypt_batch(payloads, aad=_AAD_SNAPSHOT)
+    return ctx.state["version"], batch.to_bytes()
+
+
+def shard_restore(ctx, blob, expected_shard_id=None):
+    """ECALL: rebuild an *empty* partition from a sealed snapshot.
+
+    Verifies the header: the snapshot must name this shard's partition
+    (a host cannot graft another partition's database here) and carry
+    exactly the promised record count.  Sets the partition version to
+    the snapshot's, so replayed log entries continue the version line.
+    """
+    try:
+        payloads = _plane_key(ctx).decrypt_batch(
+            SealedBatch.from_bytes(blob), aad=_AAD_SNAPSHOT
+        )
+    except IntegrityError as exc:
+        raise IntegrityError("shard snapshot failed authentication") from exc
+    if not payloads:
+        raise IntegrityError("shard snapshot is missing its header")
+    header = json.loads(payloads[0].decode("utf-8"))
+    if header["shard_id"] != ctx.state["shard_id"]:
+        raise IntegrityError(
+            "snapshot belongs to shard %r, this is shard %r"
+            % (header["shard_id"], ctx.state["shard_id"])
+        )
+    if expected_shard_id is not None and header["shard_id"] != expected_shard_id:
+        raise IntegrityError("snapshot does not match the expected shard")
+    if len(payloads) - 1 != header["count"]:
+        raise IntegrityError(
+            "snapshot header promises %d records, batch carries %d"
+            % (header["count"], len(payloads) - 1)
+        )
+    index = ctx.state["index"]
+    owners = ctx.state["owners"]
+    if len(index) or owners:
+        raise ConfigurationError("restore requires an empty partition")
+    for payload in payloads[1:]:
+        subscription = deserialize_subscription(payload)
+        index.insert(subscription)
+        owners[subscription.subscription_id] = subscription.subscriber
+    ctx.state["version"] = header["version"]
+    return header["count"]
+
+
 def shard_stats(ctx):
     """ECALL: operational counters (no content)."""
     index = ctx.state["index"]
@@ -524,6 +624,7 @@ def shard_stats(ctx):
         "database_bytes": index.database_bytes,
         "resident_bytes": ctx.memory.resident_bytes,
         "visits_last_match": index.visits_last_match,
+        "version": ctx.state["version"],
     }
 
 
@@ -537,6 +638,9 @@ SHARD_ENTRY_POINTS = {
     "match": shard_match,
     "evacuate": shard_evacuate,
     "load": shard_load,
+    "ping": shard_ping,
+    "snapshot": shard_snapshot,
+    "restore": shard_restore,
     "stats": shard_stats,
 }
 
@@ -568,6 +672,7 @@ def coord_setup(ctx, attestation=None, shard_measurement=None):
     ctx.state["notification_sealer"] = NotificationSealer()
     ctx.state["pending_publications"] = {}
     ctx.state["next_token"] = 0
+    ctx.state["enrolled"] = set()
     return True
 
 
@@ -591,6 +696,10 @@ def coord_enroll_shard(ctx, shard_id, shard_public, quote):
     wrapped = transport.encrypt(
         ctx.state["plane_key"].key_bytes, aad=aad
     ).to_bytes()
+    # Membership roster: from now on every publication expects an
+    # answer from this partition.  Re-enrolling the same id (a
+    # recovered replacement) keeps the roster unchanged.
+    ctx.state.setdefault("enrolled", set()).add(shard_id)
     return {
         "dh_public": dh.public_value,
         "report": ctx.report(dh_commitment(dh.public_value)),
@@ -641,7 +750,13 @@ def coord_ingest(ctx, envelope):
     ctx.compute(SERIALIZE_CYCLES_PER_BYTE * len(serialized))
     token = ctx.state["next_token"]
     ctx.state["next_token"] = token + 1
-    ctx.state["pending_publications"][token] = serialized
+    # Park the publication together with the coverage the plane owes
+    # it: the set of partitions enrolled *now*.  Finalize will compare
+    # who actually answered against this roster, so a shard dying
+    # between ingest and finalize cannot silently shrink the match set.
+    ctx.state["pending_publications"][token] = (
+        serialized, frozenset(ctx.state.get("enrolled", ())),
+    )
     ctx.compute(SEAL_SETUP_CYCLES + SEAL_CYCLES_PER_BYTE * len(serialized))
     sealed = ctx.state["plane_key"].encrypt(
         serialized, aad=_AAD_PUBLICATION
@@ -655,13 +770,21 @@ def coord_finalize(ctx, token, match_blobs):
     Dedupes by subscriber across *all* shards (a subscriber's matching
     subscriptions may be spread over several partitions), then seals
     exactly one envelope per subscriber through the cached sealing
-    contexts.  Returns ``(subscriber, envelope)`` pairs.
+    contexts.
+
+    Returns ``(routed, missing)``: the ``(subscriber, envelope)`` pairs
+    plus the sorted ids of enrolled partitions that did *not* answer.
+    Each match blob authenticates the shard id it came from, so the
+    untrusted driver can neither forge an answer for a dead shard nor
+    double-count one shard as two -- coverage is judged in-enclave.
     """
-    serialized = ctx.state["pending_publications"].pop(token, None)
-    if serialized is None:
+    pending = ctx.state["pending_publications"].pop(token, None)
+    if pending is None:
         raise ConfigurationError("no pending publication %r" % token)
+    serialized, expected = pending
     plane_key = ctx.state["plane_key"]
     by_subscriber = {}
+    answered = set()
     for blob in match_blobs:
         try:
             payload = plane_key.decrypt(
@@ -671,8 +794,11 @@ def coord_finalize(ctx, token, match_blobs):
             raise IntegrityError(
                 "shard match result failed authentication"
             ) from exc
-        for subscription_id, subscriber in json.loads(payload.decode("utf-8")):
+        record = json.loads(payload.decode("utf-8"))
+        answered.add(record["shard"])
+        for subscription_id, subscriber in record["pairs"]:
             by_subscriber.setdefault(subscriber, []).append(subscription_id)
+    missing = sorted(expected - answered)
     sealer = ctx.state["notification_sealer"]
     routed = []
     for subscriber in sorted(by_subscriber):
@@ -684,7 +810,7 @@ def coord_finalize(ctx, token, match_blobs):
         )
         ctx.compute(SEAL_SETUP_CYCLES + SEAL_CYCLES_PER_BYTE * len(envelope.blob))
         routed.append((subscriber, envelope))
-    return routed
+    return routed, missing
 
 
 COORD_ENTRY_POINTS = {
@@ -701,14 +827,45 @@ COORD_ENTRY_POINTS = {
 COORD_CODE = EnclaveCode("scbr-coordinator", COORD_ENTRY_POINTS)
 
 
+@dataclass
+class PartialCoverage:
+    """A publish that could not reach every enrolled partition.
+
+    Returned (``on_partial="report"`` mode) instead of a plain routed
+    list when one or more shards failed to answer: ``routed`` carries
+    the notifications from the partitions that *did* match, ``missing``
+    names the partitions whose matches are unknown.  The caller decides
+    -- retry later, alert, degrade -- but it can never mistake this for
+    a complete result.
+    """
+
+    routed: list
+    missing: Tuple[int, ...]
+
+    @property
+    def complete(self):
+        return not self.missing
+
+
 class ShardEnclave:
-    """Host handle of one shard enclave on its own platform."""
+    """Host handle of one shard enclave on its own platform.
+
+    Besides the live enclave, the host keeps the shard's *durability
+    state*: the latest plane-sealed snapshot and the mutation log of
+    operations applied since (already-sealed blobs the host relayed
+    anyway -- it learns nothing new by storing them).  Snapshot + log
+    is everything a replacement enclave needs to rebuild the partition.
+    """
 
     def __init__(self, shard_id, platform, enclave):
         self.shard_id = shard_id
         self.platform = platform
         self.enclave = enclave
         self.database_bytes = 0  # host mirror, updated by the router
+        self.snapshot = None          # sealed batch (plane key)
+        self.snapshot_version = -1    # partition version it captured
+        self.log = []                 # mutations since the snapshot
+        self.failed_at = None         # virtual onset of the last crash
 
 
 class ShardedScbrRouter:
@@ -725,14 +882,39 @@ class ShardedScbrRouter:
     publish is ``ingest`` (coordinator) + the *slowest* shard's match
     (they run concurrently on a thread pool) + ``finalize``
     (coordinator); the sum lands in :attr:`last_publish_cycles`.
+
+    Fault tolerance: each shard keeps a plane-sealed snapshot plus a
+    mutation log (:class:`ShardEnclave`); a crashed shard is respawned
+    on a fresh platform from the factory, re-attested, re-joined over
+    DH, restored from its snapshot, and the log replayed
+    (:meth:`recover_shard`).  Failure *detection* is heartbeat-driven:
+    :meth:`probe_heartbeats` pings every shard and feeds a phi-accrual
+    :class:`~repro.scbr.health.ShardHealthMonitor`; :meth:`start_health`
+    schedules the probing on the simulated clock and auto-recovers on
+    detection.  A publish that cannot cover every enrolled partition
+    never shrinks silently: ``on_partial="retry"`` (default) heals the
+    missing shards and republishes under the retry policy;
+    ``on_partial="report"`` returns a :class:`PartialCoverage` naming
+    the unanswered partitions.
     """
+
+    name = "scbr-plane"
 
     def __init__(self, platform, shard_platform_factory,
                  attestation_service=None, shards=2,
                  record_bytes=DEFAULT_RECORD_BYTES, policy=None,
-                 auto_split=True):
+                 auto_split=True, env=None, chaos=None, orchestrator=None,
+                 health_policy=None, snapshot_interval=16,
+                 on_partial="retry", retry_policy=None):
         if shards < 1:
             raise ConfigurationError("need at least one shard")
+        if on_partial not in ("retry", "report"):
+            raise ConfigurationError(
+                "on_partial must be 'retry' or 'report', got %r"
+                % (on_partial,)
+            )
+        if snapshot_interval < 1:
+            raise ConfigurationError("snapshot_interval must be >= 1")
         self.platform = platform
         self.shard_platform_factory = shard_platform_factory
         self.attestation_service = attestation_service
@@ -741,13 +923,26 @@ class ShardedScbrRouter:
             platform.costs, record_bytes
         )
         self.auto_split = auto_split
+        self.env = env
+        self.chaos = chaos
+        self.orchestrator = orchestrator
+        self.snapshot_interval = snapshot_interval
+        self.on_partial = on_partial
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=4, base_delay=0.0005
+        )
+        self.backoff = BackoffClock()
+        self.monitor = (
+            ShardHealthMonitor(env, health_policy, chaos)
+            if env is not None else None
+        )
         self.coordinator = platform.load_enclave(COORD_CODE)
         self.coordinator.ecall(
             "setup", attestation_service, SHARD_CODE.measurement
         )
         self.shards = []
-        for _ in range(shards):
-            self._spawn_shard()
+        self._retired = []
+        self._beat_sequence = {}
         self._home = {}
         self.publications_routed = 0
         self.publish_cycles = 0
@@ -755,12 +950,31 @@ class ShardedScbrRouter:
         self.last_visits = 0
         self.splits = 0
         self.migrated = 0
+        self.shard_failures = 0
+        self.snapshots_taken = 0
+        self.partial_publishes = 0
+        self.recovery_episodes = []
+        for _ in range(shards):
+            self._spawn_shard()
 
     # -- plane membership ----------------------------------------------
 
     def _spawn_shard(self):
-        """Load a shard enclave on a fresh platform and join it."""
-        shard_id = len(self.shards)
+        """Grow the plane by one shard (a split or initial bring-up)."""
+        shard = self._spawn_shard_enclave(len(self.shards))
+        self.shards.append(shard)
+        if self.monitor is not None:
+            self.monitor.register(shard.shard_id)
+        self._snapshot(shard)
+        return shard
+
+    def _spawn_shard_enclave(self, shard_id):
+        """Load a shard enclave on a fresh platform and join it.
+
+        Used both for growth (a new shard id) and recovery (a
+        replacement for a dead shard id); either way the enclave earns
+        the plane key only through the mutually attested DH join.
+        """
         platform = self.shard_platform_factory(shard_id)
         if self.attestation_service is not None:
             # The infrastructure provider registers new machines with
@@ -790,9 +1004,184 @@ class ShardedScbrRouter:
             "join_complete", grant["dh_public"], coordinator_quote,
             grant["wrapped_key"],
         )
-        shard = ShardEnclave(shard_id, platform, enclave)
-        self.shards.append(shard)
-        return shard
+        return ShardEnclave(shard_id, platform, enclave)
+
+    def _shard_by_id(self, shard_id):
+        for shard in self.shards:
+            if shard.shard_id == shard_id:
+                return shard
+        raise ConfigurationError("no shard %r in the plane" % (shard_id,))
+
+    # -- durability -----------------------------------------------------
+
+    def _snapshot(self, shard):
+        """Refresh ``shard``'s sealed snapshot; the log starts over."""
+        version, blob = shard.enclave.ecall("snapshot")
+        shard.snapshot = blob
+        shard.snapshot_version = version
+        shard.log = []
+        self.snapshots_taken += 1
+        return version
+
+    def _log_mutation(self, shard, entry):
+        """Append one mutation to the shard's replay log.
+
+        Entries hold the already-plane-sealed blobs the host relayed
+        anyway; once the log reaches ``snapshot_interval`` the shard is
+        re-snapshotted and the log truncated, bounding replay work.
+        """
+        shard.log.append(entry)
+        if len(shard.log) >= self.snapshot_interval:
+            self._snapshot(shard)
+
+    # -- failure, detection, recovery -----------------------------------
+
+    def fail_shard(self, shard_id):
+        """Kill one shard enclave (the chaos/fault-schedule hook).
+
+        The partition goes dark: its enclave state is unreachable, its
+        EPC pages and cache lines are reclaimed by the dying enclave's
+        teardown, and subsequent ecalls raise
+        :class:`~repro.errors.EnclaveLostError`.  Recovery is a
+        separate, explicit act (:meth:`recover_shard` or the health
+        loop).  Returns False if the shard was already dead.
+        """
+        shard = self._shard_by_id(shard_id)
+        if shard.enclave.destroyed:
+            return False
+        shard.failed_at = self.env.now if self.env is not None else None
+        shard.enclave.destroy()
+        self.shard_failures += 1
+        if self.monitor is not None:
+            self.monitor.record_onset(shard_id, shard.failed_at)
+        return True
+
+    def recover_shard(self, shard_id):
+        """Respawn a dead shard from its sealed snapshot + mutation log.
+
+        The replacement runs on a *fresh* platform from the factory: it
+        re-registers with the attestation service, re-joins the plane
+        over attested DH (earning the plane key), restores the last
+        snapshot, and replays the logged mutations -- so the rebuilt
+        partition is byte-for-byte the pre-crash database.  The old
+        enclave is destroyed unconditionally first: a false-positive
+        detection (heartbeats lost from a live shard) then degrades to
+        an unnecessary but harmless respawn instead of a split-brain
+        partition.
+
+        Recovery work happens "now" in simulated time (the environment
+        clock does not advance inside a callback), so its latency is
+        measured in enclave cycles: the replacement platform's clock
+        (fresh, starts at zero) plus the coordinator cycles spent on
+        the re-join, converted to virtual seconds.
+        """
+        old = self._shard_by_id(shard_id)
+        old.enclave.destroy()  # idempotent; see docstring
+        coordinator_clock = self.platform.clock
+        coordinator_start = coordinator_clock.now
+        replacement = self._spawn_shard_enclave(shard_id)
+        restored = 0
+        if old.snapshot is not None:
+            restored = replacement.enclave.ecall(
+                "restore", old.snapshot, shard_id
+            )
+        replayed = 0
+        for entry in old.log:
+            if entry[0] == "insert":
+                replacement.enclave.ecall("insert", entry[1])
+            elif entry[0] == "remove":
+                replacement.enclave.ecall("remove", entry[1], entry[2])
+            else:
+                raise ConfigurationError(
+                    "unknown log entry kind %r" % (entry[0],)
+                )
+            replayed += 1
+        replacement.database_bytes = old.database_bytes
+        self.shards[self.shards.index(old)] = replacement
+        self._retired.append(old)
+        for subscription_id, home in list(self._home.items()):
+            if home is old:
+                self._home[subscription_id] = replacement
+        # Consolidate: the replacement snapshots its rebuilt partition,
+        # so the next crash replays from here, not from the old log.
+        self._snapshot(replacement)
+        recovery_cycles = replacement.platform.clock.now + (
+            coordinator_clock.now - coordinator_start
+        )
+        recovery_seconds = cycles_to_seconds(recovery_cycles)
+        episode = {
+            "shard_id": shard_id,
+            "onset": old.failed_at,
+            "restored": restored,
+            "replayed": replayed,
+            "recovery_cycles": recovery_cycles,
+            "recovery_seconds": recovery_seconds,
+        }
+        self.recovery_episodes.append(episode)
+        if self.monitor is not None:
+            self.monitor.register(shard_id)
+        if self.orchestrator is not None:
+            self.orchestrator.report_recovery(
+                "%s/shard-%d" % (self.name, shard_id),
+                "shard-recovery",
+                recovery_seconds,
+                onset=old.failed_at,
+            )
+        return replacement
+
+    def probe_heartbeats(self):
+        """One heartbeat round: ping every shard, feed the detector.
+
+        A dead enclave fails the ping; chaos may eat a live shard's
+        beat (``heartbeat_loss_rate``).  Returns the shards the monitor
+        *newly* declares down this round.
+        """
+        if self.monitor is None:
+            raise ConfigurationError(
+                "heartbeat probing needs an Environment (env=...)"
+            )
+        for shard in list(self.shards):
+            beat = self._beat_sequence.get(shard.shard_id, 0)
+            self._beat_sequence[shard.shard_id] = beat + 1
+            try:
+                shard.enclave.ecall("ping")
+            except EnclaveLostError:
+                continue
+            if self.chaos is not None and self.chaos.drops_heartbeat(
+                shard.shard_id, beat
+            ):
+                continue
+            self.monitor.beat(shard.shard_id)
+        down = self.monitor.poll()
+        if self.orchestrator is not None:
+            for shard_id in down:
+                self.orchestrator.report_anomaly(
+                    "%s/shard-%d" % (self.name, shard_id),
+                    "shard-liveness",
+                    onset=self._shard_by_id(shard_id).failed_at,
+                )
+        return down
+
+    def start_health(self, duration, auto_recover=True):
+        """Schedule heartbeat probing every monitor period until
+        ``duration``; newly detected-down shards are recovered in place
+        when ``auto_recover`` (the paper's orchestration loop: detect,
+        then adapt the infrastructure)."""
+        if self.monitor is None:
+            raise ConfigurationError(
+                "the health loop needs an Environment (env=...)"
+            )
+        period = self.monitor.policy.heartbeat_period
+
+        def tick():
+            for shard_id in self.probe_heartbeats():
+                if auto_recover:
+                    self.recover_shard(shard_id)
+
+        beats = int(duration / period)
+        for index in range(1, beats + 1):
+            self.env.call_at(self.env.now + index * period, tick)
+        return beats
 
     @property
     def measurement(self):
@@ -816,7 +1205,13 @@ class ShardedScbrRouter:
     # -- subscription plane --------------------------------------------
 
     def subscribe(self, envelope):
-        """Admit, place (covering-aware), split-if-needed, insert."""
+        """Admit, place (covering-aware), split-if-needed, insert.
+
+        Placement considers only *live* shards -- a dark partition
+        cannot answer the covering probe -- and the insert is appended
+        to the target shard's replay log before returning, so a crash
+        after this call cannot lose the subscription.
+        """
         subscription_id, blob = self.coordinator.ecall("admit", envelope)
         shard = self._place(blob)
         if self.auto_split and self.policy.needs_split(
@@ -827,17 +1222,30 @@ class ShardedScbrRouter:
         shard.enclave.ecall("insert", blob)
         shard.database_bytes += self.record_bytes
         self._home[subscription_id] = shard
+        self._log_mutation(shard, ("insert", blob))
         return subscription_id
 
+    def _live_shards(self):
+        return [s for s in self.shards if not s.enclave.destroyed]
+
     def _place(self, blob):
-        flags = [
-            shard.enclave.ecall("covers_root", blob) for shard in self.shards
-        ]
-        loads = [shard.database_bytes for shard in self.shards]
-        return self.shards[ShardPlanner.choose(flags, loads)]
+        live = self._live_shards()
+        if not live:
+            # Total darkness: heal the plane before admitting state.
+            for shard in list(self.shards):
+                self.recover_shard(shard.shard_id)
+            live = self._live_shards()
+        flags = [shard.enclave.ecall("covers_root", blob) for shard in live]
+        loads = [shard.database_bytes for shard in live]
+        return live[ShardPlanner.choose(flags, loads)]
 
     def _split(self, shard):
-        """Rebalance: evacuate half of ``shard`` onto a fresh shard."""
+        """Rebalance: evacuate half of ``shard`` onto a fresh shard.
+
+        A split rewrites both partitions outside the insert/remove log
+        vocabulary, so both sides are re-snapshotted immediately -- the
+        replay logs restart from the post-split state.
+        """
         fresh = self._spawn_shard()
         target = self.policy.split_target_bytes(shard.database_bytes)
         moved_ids, batch = shard.enclave.ecall("evacuate", target)
@@ -849,32 +1257,51 @@ class ShardedScbrRouter:
             self._home[subscription_id] = fresh
         self.splits += 1
         self.migrated += len(moved_ids)
+        self._snapshot(shard)
+        self._snapshot(fresh)
         return fresh
 
     def unsubscribe(self, client_id, subscription_id):
-        """Authorise at the coordinator, remove at the home shard."""
+        """Authorise at the coordinator, remove at the home shard.
+
+        If the home shard is dark the partition is recovered first:
+        removing from the replacement (and logging the removal) is the
+        only way the unsubscribe survives the *next* crash too.
+        """
         self.coordinator.ecall("authorize", client_id)
         shard = self._home.get(subscription_id)
         if shard is None:
             raise ConfigurationError(
                 "no subscription %r in the plane" % subscription_id
             )
+        if shard.enclave.destroyed:
+            shard = self.recover_shard(shard.shard_id)
         shard.enclave.ecall("remove", subscription_id, client_id)
         shard.database_bytes -= self.record_bytes
         del self._home[subscription_id]
+        self._log_mutation(shard, ("remove", subscription_id, client_id))
         return True
 
     # -- publication plane ---------------------------------------------
 
-    def publish_routed(self, envelope):
-        """Route a publication; returns (subscriber, envelope) pairs."""
+    def _publish_once(self, envelope):
+        """One coverage-tracked fan-out; returns ``(routed, missing)``.
+
+        Every member shard is asked -- a dead one raises
+        :class:`~repro.errors.EnclaveLostError` instead of answering,
+        and the coordinator's finalize reports it missing because its
+        authenticated match blob never arrived.
+        """
         clock = self.platform.clock
         coordinator_start = clock.now
         token, sealed = self.coordinator.ecall("ingest", envelope)
 
         def match_on(shard):
             start = shard.platform.clock.now
-            blob, visits = shard.enclave.ecall("match", sealed)
+            try:
+                blob, visits = shard.enclave.ecall("match", sealed)
+            except EnclaveLostError:
+                return None, 0, shard.platform.clock.now - start
             return blob, visits, shard.platform.clock.now - start
 
         if len(self.shards) == 1:
@@ -884,28 +1311,82 @@ class ShardedScbrRouter:
                 results = list(pool.map(match_on, self.shards))
         slowest = max(elapsed for _b, _v, elapsed in results)
         self.last_visits = sum(visits for _b, visits, _e in results)
-        routed = self.coordinator.ecall(
-            "finalize", token, [blob for blob, _v, _e in results]
+        routed, missing = self.coordinator.ecall(
+            "finalize", token,
+            [blob for blob, _v, _e in results if blob is not None],
         )
         self.last_publish_cycles = (
             clock.now - coordinator_start
         ) + slowest
         self.publish_cycles += self.last_publish_cycles
         self.publications_routed += 1
-        return routed
+        return routed, tuple(missing)
+
+    def publish_routed(self, envelope):
+        """Route a publication; returns (subscriber, envelope) pairs.
+
+        Never a silently smaller match set: if any enrolled partition
+        fails to answer, either the missing shards are recovered and
+        the publication re-matched until coverage is complete
+        (``on_partial="retry"``; exhausting the retry policy raises
+        :class:`~repro.errors.RetryExhaustedError`), or a
+        :class:`PartialCoverage` naming the dark partitions is returned
+        (``on_partial="report"``).
+        """
+        routed, missing = self._publish_once(envelope)
+        if not missing:
+            return routed
+        self.partial_publishes += 1
+        if self.on_partial == "report":
+            return PartialCoverage(routed=routed, missing=missing)
+
+        def heal_and_republish(attempt):
+            for shard in list(self.shards):
+                if shard.enclave.destroyed:
+                    self.recover_shard(shard.shard_id)
+            retried, still_missing = self._publish_once(envelope)
+            if still_missing:
+                raise PartialCoverageError(
+                    "publish covered %d/%d partitions"
+                    % (len(self.shards) - len(still_missing),
+                       len(self.shards)),
+                    missing=still_missing,
+                )
+            return retried
+
+        return retry_call(
+            heal_and_republish, self.retry_policy, self.backoff
+        )
 
     def publish(self, envelope):
         """Route a publication; returns the sealed notifications."""
-        return [
-            notification
-            for _subscriber, notification in self.publish_routed(envelope)
-        ]
+        routed = self.publish_routed(envelope)
+        if isinstance(routed, PartialCoverage):
+            return routed
+        return [notification for _subscriber, notification in routed]
 
     # -- observability -------------------------------------------------
 
     def stats(self):
-        """Aggregated plane counters (one stats ecall per shard)."""
-        per_shard = [shard.enclave.ecall("stats") for shard in self.shards]
+        """Aggregated plane counters (one stats ecall per live shard).
+
+        A dark shard contributes a zeroed row flagged ``down`` -- the
+        plane's operational surface stays queryable during an outage.
+        """
+        per_shard = []
+        for shard in self.shards:
+            try:
+                per_shard.append(shard.enclave.ecall("stats"))
+            except EnclaveLostError:
+                per_shard.append({
+                    "shard_id": shard.shard_id,
+                    "subscriptions": 0,
+                    "database_bytes": 0,
+                    "resident_bytes": 0,
+                    "visits_last_match": 0,
+                    "version": -1,
+                    "down": True,
+                })
         return {
             "shards": len(per_shard),
             "subscriptions": sum(s["subscriptions"] for s in per_shard),
@@ -915,5 +1396,63 @@ class ShardedScbrRouter:
             ),
             "splits": self.splits,
             "migrated": self.migrated,
+            "shard_failures": self.shard_failures,
+            "recoveries": len(self.recovery_episodes),
+            "snapshots": self.snapshots_taken,
+            "partial_publishes": self.partial_publishes,
             "per_shard": per_shard,
         }
+
+    def recovery_latencies(self):
+        """Virtual seconds each recovery episode took to heal."""
+        return [e["recovery_seconds"] for e in self.recovery_episodes]
+
+    def check_invariants(self):
+        """Leak and consistency audit across the whole plane.
+
+        - every retired enclave (dead and replaced) released its memory:
+          zero resident bytes and nothing left under its name in its
+          platform's shared EPC;
+        - global resident bytes equal the sum over *live* shard
+          enclaves -- dead state contributes nothing;
+        - the home map points only at current member shards.
+        """
+        live_bytes = 0
+        for shard in self.shards:
+            memory = shard.enclave.memory
+            if shard.enclave.destroyed:
+                if memory.resident_bytes or not memory.released:
+                    raise ConfigurationError(
+                        "dead shard %d still holds %d resident bytes"
+                        % (shard.shard_id, memory.resident_bytes)
+                    )
+            else:
+                live_bytes += memory.resident_bytes
+        total_bytes = live_bytes
+        for old in self._retired:
+            memory = old.enclave.memory
+            total_bytes += memory.resident_bytes
+            if memory.resident_bytes or not memory.released:
+                raise ConfigurationError(
+                    "retired shard %d leaked %d resident bytes"
+                    % (old.shard_id, memory.resident_bytes)
+                )
+            if memory.epc is not None:
+                for key in memory.epc.resident_page_keys():
+                    if key[0] == memory.name:
+                        raise ConfigurationError(
+                            "retired shard %d left EPC page %r resident"
+                            % (old.shard_id, key)
+                        )
+        if total_bytes != live_bytes:
+            raise ConfigurationError(
+                "plane resident bytes %d != live shard bytes %d"
+                % (total_bytes, live_bytes)
+            )
+        for subscription_id, shard in self._home.items():
+            if shard not in self.shards:
+                raise ConfigurationError(
+                    "subscription %r homed on a retired shard"
+                    % (subscription_id,)
+                )
+        return True

@@ -188,10 +188,22 @@ class Enclave:
         finally:
             self.platform.clock.charge(self.platform.costs.transition_cycles)
 
+    @property
+    def destroyed(self):
+        """True once the enclave has been torn down."""
+        return self._destroyed
+
     def destroy(self):
-        """Tear the enclave down; its protected state becomes unreachable."""
+        """Tear the enclave down; its protected state becomes unreachable.
+
+        Also releases the enclave's simulated memory: the OS reclaims a
+        dead enclave's EPC pages (EREMOVE) and its cache lines stop
+        being resident, so survivors on the platform no longer pay
+        paging pressure for state that can never be touched again.
+        """
         self._destroyed = True
         self._state.clear()
+        self.memory.release_all()
 
     def identity_summary(self):
         """A loggable description (no secrets)."""

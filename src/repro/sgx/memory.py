@@ -93,6 +93,23 @@ class _LruSet:
         """Remove ``key`` if present."""
         self._entries.pop(key, None)
 
+    def keys(self):
+        """Snapshot of resident keys in LRU order (oldest first)."""
+        return list(self._entries)
+
+    def discard_owner(self, owner):
+        """Drop every resident ``(owner, id)`` key; returns the count.
+
+        Keys in this simulator are ``(memory name, page/line id)``
+        tuples, so an enclave tearing down can purge its whole resident
+        set in one pass over the (capacity-bounded) LRU instead of
+        walking its entire address space.
+        """
+        victims = [key for key in self._entries if key[0] == owner]
+        for key in victims:
+            del self._entries[key]
+        return len(victims)
+
     def clear(self):
         """Drop all entries (e.g. on enclave teardown)."""
         self._entries.clear()
@@ -112,6 +129,11 @@ class LlcModel:
     def discard_line(self, line_id):
         """Drop one line if resident (freed memory stops occupying LLC)."""
         self._lines.discard(line_id)
+
+    def release_owner(self, owner):
+        """Drop every resident line belonging to ``owner`` (a memory
+        name); returns how many lines were released."""
+        return self._lines.discard_owner(owner)
 
     def flush(self):
         """Empty the cache."""
@@ -155,6 +177,18 @@ class EpcModel:
         """Drop one page if resident (an EREMOVE: the page is returned
         to the free pool without an eviction write-back)."""
         self._pages.discard(page_id)
+
+    def release_owner(self, owner):
+        """EREMOVE every resident page belonging to ``owner`` (a memory
+        name); returns how many pages were released.  This is what a
+        dying enclave's teardown path must call -- otherwise the dead
+        enclave's pages keep occupying the shared EPC and every
+        surviving enclave on the platform pays its paging pressure."""
+        return self._pages.discard_owner(owner)
+
+    def resident_page_keys(self):
+        """Snapshot of ``(owner, page_id)`` keys currently resident."""
+        return self._pages.keys()
 
     def evict_all(self):
         """Drop every resident page (platform reset)."""
@@ -208,6 +242,7 @@ class SimulatedMemory:
         self._next_address = 0
         self._freed_bytes = 0
         self._freed_regions = set()
+        self._released = False
 
     @property
     def allocated_bytes(self):
@@ -250,7 +285,7 @@ class SimulatedMemory:
         and lines straddling the region boundary may hold neighbouring
         live data and stay resident.  Returns the bytes released.
         """
-        if region is None:
+        if region is None or self._released:
             return 0
         if region.end > self._next_address:
             raise CapacityError(
@@ -275,6 +310,31 @@ class SimulatedMemory:
         for line_id in range(first_line, last_line):
             self.llc.discard_line((self.name, line_id))
         return region.size
+
+    def release_all(self):
+        """Release everything this memory still holds (enclave death).
+
+        Models the OS reclaiming a destroyed enclave's EPC pages
+        (EREMOVE, no write-back) and the cache lines it occupied: after
+        this call :attr:`resident_bytes` is zero and the shared EPC/LLC
+        no longer carry any of this memory's pages or lines, so a dead
+        shard stops exerting paging pressure on its platform.
+        Idempotent; returns the bytes released.
+        """
+        if self._released:
+            return 0
+        self._released = True
+        released = self.resident_bytes
+        self._freed_bytes = self._next_address
+        if self.enclave and self.epc is not None:
+            self.epc.release_owner(self.name)
+        self.llc.release_owner(self.name)
+        return released
+
+    @property
+    def released(self):
+        """True once :meth:`release_all` tore this memory down."""
+        return self._released
 
     def watermark_exceeded(self, fraction):
         """Whether the resident set crossed ``fraction`` of the usable EPC.

@@ -142,3 +142,87 @@ class TestChaosSyscallExecutor:
         calm.call("open", "/tmp/f")
         assert chaotic.stalled == 1
         assert clock.now - calm.clock.now >= 1000
+
+
+class _FailActive:
+    name = "rb-0"
+
+    def __init__(self):
+        self.failed = 0
+
+    def fail_active(self):
+        self.failed += 1
+
+
+class _Failable:
+    name = "svc-1"
+
+    def __init__(self):
+        self.failed = 0
+
+    def fail(self):
+        self.failed += 1
+
+
+class TestFailAt:
+    def test_fail_active_target_records_broker_failure(self):
+        env = Environment()
+        injector = ChaosInjector(seed=1)
+        schedule = FaultSchedule(env, injector=injector)
+        broker = _FailActive()
+        schedule.fail_at(0.25, broker)
+        env.run()
+        assert broker.failed == 1
+        assert schedule.fired == [(0.25, "broker-failure", "rb-0")]
+
+    def test_fail_broker_at_is_a_thin_alias(self):
+        env = Environment()
+        schedule = FaultSchedule(env)
+        broker = _FailActive()
+        schedule.fail_broker_at(0.1, broker)
+        env.run()
+        assert broker.failed == 1
+        assert schedule.fired == [(0.1, "broker-failure", "rb-0")]
+
+    def test_fail_method_and_callable_targets(self):
+        env = Environment()
+        schedule = FaultSchedule(env)
+        target = _Failable()
+        struck = []
+
+        def pull_the_plug():
+            struck.append(env.now)
+
+        schedule.fail_at(0.2, target)
+        schedule.fail_at(0.3, pull_the_plug, kind="power-loss")
+        env.run()
+        assert target.failed == 1
+        assert struck == [0.3]
+        assert schedule.fired == [
+            (0.2, "target-failure", "svc-1"),
+            (0.3, "power-loss", "pull_the_plug"),
+        ]
+
+    def test_unfailable_target_rejected(self):
+        schedule = FaultSchedule(Environment())
+        with pytest.raises(ConfigurationError):
+            schedule.fail_at(0.1, object())
+
+    def test_crash_shard_at_names_the_shard(self):
+        env = Environment()
+
+        class _Plane:
+            name = "scbr-plane"
+
+            def __init__(self):
+                self.killed = []
+
+            def fail_shard(self, shard_id):
+                self.killed.append(shard_id)
+
+        plane = _Plane()
+        schedule = FaultSchedule(env)
+        schedule.crash_shard_at(0.4, plane, 2)
+        env.run()
+        assert plane.killed == [2]
+        assert schedule.fired == [(0.4, "shard-crash", "scbr-plane/shard-2")]

@@ -1,0 +1,61 @@
+"""The single-index oracle: ground truth for distributed matching.
+
+Routing -- across a broker overlay (A5) or across the sharded matching
+plane's partitions (E6, the recovery tests) -- changes *where* matching
+happens, never *what* is delivered.  One all-knowing
+:class:`~repro.scbr.index.ContainmentIndex` holding every live
+subscription is therefore the exact delivery oracle every distributed
+or fault-injected configuration must reproduce.
+
+Shared between ``tests/`` and ``benchmarks/`` (both import it as
+``tests.scbr.oracle``) so the A5 overlay check, the shard-recovery
+tests, and the E6 failover bench all judge against the same referee.
+"""
+
+from repro.scbr.index import ContainmentIndex
+from repro.scbr.workload import ScbrWorkload
+
+
+def oracle_match_sets(subscriptions, publications):
+    """Per-publication sorted match sets from a single all-knowing index.
+
+    ``subscriptions`` is the set live at match time (insert churn minus
+    removals already applied); the result is what any correct routing
+    of ``publications`` must deliver, in publication order.
+    """
+    index = ContainmentIndex()
+    for subscription in subscriptions:
+        index.insert(subscription)
+    return [sorted(index.match(p)) for p in publications]
+
+
+def oracle_delivery_sets(subscriptions, publications):
+    """Like :func:`oracle_match_sets` but per-subscriber.
+
+    Returns, per publication, a sorted list of ``(subscriber, sorted
+    subscription ids)`` pairs -- the notification fan-out a
+    deduplicating router must produce exactly.
+    """
+    by_id = {s.subscription_id: s.subscriber for s in subscriptions}
+    deliveries = []
+    for matched in oracle_match_sets(subscriptions, publications):
+        fanout = {}
+        for subscription_id in matched:
+            fanout.setdefault(by_id[subscription_id], []).append(
+                subscription_id
+            )
+        deliveries.append(
+            sorted((who, sorted(ids)) for who, ids in fanout.items())
+        )
+    return deliveries
+
+
+def oracle_workload_deliveries(seed, num_attributes, containment_fraction,
+                               num_subscriptions, num_publications):
+    """A5's original convenience: oracle match sets for a seeded workload."""
+    workload = ScbrWorkload(seed=seed, num_attributes=num_attributes,
+                            containment_fraction=containment_fraction)
+    return oracle_match_sets(
+        workload.subscriptions(num_subscriptions),
+        workload.publications(num_publications),
+    )

@@ -1,0 +1,114 @@
+"""Tests for the phi-accrual shard failure detector."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scbr.health import (
+    ShardDetection,
+    ShardHealthMonitor,
+    ShardHealthPolicy,
+)
+from repro.sim.events import Environment
+
+
+def warmed_monitor(env, shard_id=0, beats=8, policy=None):
+    """A monitor whose interval window is past the startup phase."""
+    monitor = ShardHealthMonitor(env, policy)
+    monitor.register(shard_id)
+    period = monitor.policy.heartbeat_period
+    for _ in range(beats):
+        env._now += period  # advance the virtual clock directly
+        monitor.beat(shard_id)
+    return monitor
+
+
+class TestShardHealthPolicy:
+    def test_defaults_validate(self):
+        policy = ShardHealthPolicy()
+        assert policy.heartbeat_period > 0
+        assert policy.phi_threshold > 0
+
+    @pytest.mark.parametrize("field,value", [
+        ("heartbeat_period", 0.0),
+        ("phi_threshold", -1.0),
+        ("window", 0),
+        ("min_samples", 0),
+        ("startup_timeout", 0.0),
+    ])
+    def test_invalid_parameters_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            ShardHealthPolicy(**{field: value})
+
+
+class TestShardHealthMonitor:
+    def test_steady_heartbeats_keep_phi_low(self):
+        env = Environment()
+        monitor = warmed_monitor(env)
+        assert monitor.phi(0) == 0.0
+        # One period late: suspicion is ~log10(e), far below threshold.
+        env._now += monitor.policy.heartbeat_period
+        assert 0.0 < monitor.phi(0) < monitor.policy.phi_threshold
+        assert not monitor.suspects(0)
+        assert monitor.poll() == []
+
+    def test_silence_crosses_the_threshold_once(self):
+        env = Environment()
+        monitor = warmed_monitor(env)
+        periods_needed = monitor.policy.phi_threshold / 0.4342944819
+        env._now += (periods_needed + 1) * monitor.policy.heartbeat_period
+        assert monitor.suspects(0)
+        assert monitor.poll() == [0]
+        # The episode is latched: further polls stay quiet.
+        env._now += monitor.policy.heartbeat_period
+        assert monitor.poll() == []
+        assert monitor.down() == [0]
+        assert len(monitor.detections) == 1
+
+    def test_register_resets_the_episode(self):
+        env = Environment()
+        monitor = warmed_monitor(env)
+        env._now += 20 * monitor.policy.heartbeat_period
+        assert monitor.poll() == [0]
+        monitor.register(0)  # the replacement came up
+        assert monitor.down() == []
+        assert monitor.phi(0) == 0.0
+
+    def test_startup_uses_fixed_timeout(self):
+        env = Environment()
+        monitor = ShardHealthMonitor(env)
+        monitor.register(0)
+        # Below min_samples the exponential model has no mean interval;
+        # suspicion stays zero until the fixed startup timeout elapses.
+        env._now += monitor.policy.startup_timeout * 0.9
+        assert monitor.phi(0) == 0.0
+        env._now += monitor.policy.startup_timeout * 0.2
+        assert monitor.suspects(0)
+
+    def test_detection_latency_from_recorded_onset(self):
+        env = Environment()
+        monitor = warmed_monitor(env)
+        onset = env.now
+        monitor.record_onset(0)
+        env._now += 15 * monitor.policy.heartbeat_period
+        assert monitor.poll() == [0]
+        (detection,) = monitor.detections
+        assert isinstance(detection, ShardDetection)
+        assert detection.onset == onset
+        assert detection.detection_latency == pytest.approx(env.now - onset)
+        assert monitor.detection_latencies() == [detection.detection_latency]
+
+    def test_unknown_shard_rejected_and_forget(self):
+        env = Environment()
+        monitor = ShardHealthMonitor(env)
+        with pytest.raises(ConfigurationError):
+            monitor.phi(7)
+        monitor.register(7)
+        assert monitor.tracked() == [7]
+        monitor.forget(7)
+        assert monitor.tracked() == []
+
+    def test_unregistered_beat_registers(self):
+        env = Environment()
+        monitor = ShardHealthMonitor(env)
+        monitor.beat(3)
+        assert monitor.tracked() == [3]

@@ -353,3 +353,44 @@ class TestFree:
         mem = native_memory()
         mem.allocate(1 << 20)
         assert not mem.watermark_exceeded(0.01)
+
+
+class TestReleaseAll:
+    def test_release_all_zeroes_the_resident_set(self):
+        costs = tiny_costs()
+        mem = enclave_memory(costs)
+        region = mem.allocate(2 * costs.page_size)
+        mem.access(region)
+        assert mem.resident_bytes > 0
+        assert mem.epc.resident_pages > 0
+        released = mem.release_all()
+        assert released == 2 * costs.page_size
+        assert mem.resident_bytes == 0
+        assert mem.released
+        # Nothing of this memory survives in the shared EPC or LLC.
+        assert all(
+            key[0] != mem.name for key in mem.epc.resident_page_keys()
+        )
+
+    def test_release_all_is_idempotent_and_disarms_free(self):
+        mem = enclave_memory()
+        region = mem.allocate(128)
+        assert mem.release_all() == 128
+        assert mem.release_all() == 0
+        # A straggler free after teardown is a no-op, not an error.
+        assert mem.free(region) == 0
+
+    def test_release_owner_spares_other_tenants(self):
+        costs = tiny_costs()
+        epc = EpcModel(costs)
+        clock = CycleClock()
+        dying = SimulatedMemory(clock, costs, enclave=True, epc=epc,
+                                name="dying")
+        survivor = SimulatedMemory(clock, costs, enclave=True, epc=epc,
+                                   name="survivor")
+        dying.access(dying.allocate(costs.page_size))
+        survivor.access(survivor.allocate(costs.page_size))
+        assert dying.release_all() == costs.page_size
+        keys = epc.resident_page_keys()
+        assert keys and all(key[0] == "survivor" for key in keys)
+        assert survivor.resident_bytes == costs.page_size
