@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-gate chaos-smoke experiments
+.PHONY: test test-cov bench bench-smoke bench-gate chaos-smoke experiments
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,6 +29,13 @@ bench-smoke:
 #   $(PYTHON) -m repro.cli gate --update
 bench-gate:
 	$(PYTHON) -m repro.cli gate
+
+# Coverage gate: tier-1 suite under line coverage with enforced floors
+# (src/repro/telemetry/ >= 90%, repo-wide ratchet at the measured
+# baseline); uses the coverage package when installed, else a built-in
+# settrace collector.  See tools/test_cov.py.
+test-cov:
+	$(PYTHON) tools/test_cov.py -x -q
 
 # Smoke run plus the chaos determinism gate: the E5 fault-injection
 # scenarios and the E6 sharded-plane failover scenarios must produce

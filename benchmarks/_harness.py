@@ -13,6 +13,8 @@ aligned text.
 import json
 import os
 
+from repro.telemetry import default_registry
+
 _OUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
 
 
@@ -88,4 +90,31 @@ def report(experiment_id, title, header, rows, notes=()):
     _write_atomic(
         os.path.join(_OUT_DIR, "%s.json" % experiment_id), payload + "\n"
     )
+    write_telemetry_sidecar(experiment_id)
     return table
+
+
+def write_telemetry_sidecar(experiment_id, registry=None):
+    """Write ``benchmarks/out/<id>.telemetry.json`` if telemetry is on.
+
+    When the run collected metrics (the registry is live), the snapshot
+    lands next to the table so the performance trajectory and the
+    metric trajectory travel together.  :func:`report` calls this
+    automatically; ``repro.cli metrics`` calls it directly for
+    benchmarks whose ``report`` happens in their pytest wrapper.  With
+    telemetry off (the default) nothing is written and ``None`` is
+    returned instead of the path.
+    """
+    registry = registry if registry is not None else default_registry()
+    if not registry.active:
+        return None
+    sidecar = json.dumps(
+        {"experiment": experiment_id, "metrics": registry.snapshot()},
+        indent=2,
+        sort_keys=True,
+        default=str,
+    )
+    os.makedirs(_OUT_DIR, exist_ok=True)
+    path = os.path.join(_OUT_DIR, "%s.telemetry.json" % experiment_id)
+    _write_atomic(path, sidecar + "\n")
+    return path

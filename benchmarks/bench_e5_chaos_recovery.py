@@ -30,6 +30,7 @@ import pytest
 
 from repro.chaos import ChaosBus, ChaosInjector, ChaosNetwork, FaultSchedule
 from repro.crypto.aead import AeadKey
+from repro.crypto.primitives import DeterministicRandomSource
 from repro.bigdata.mapreduce import (
     MapReduceCheckpoint,
     MapReduceJob,
@@ -101,9 +102,14 @@ def _mapreduce_trial(crash_rate, records=120):
     job = MapReduceJob(
         map_fn=_tokenize, reduce_fn=_count, mappers=6, reducers=3
     )
+    # Seed the job key too: the partition salt derives from it, so a
+    # random key would shuffle partition contents (and sealed blob
+    # sizes) between same-seed runs -- the telemetry determinism gate
+    # compares byte-level metric snapshots across passes.
     engine = SecureMapReduce(
         platform, job, chaos=chaos,
         retry_policy=RetryPolicy(max_attempts=8, base_delay=0.005),
+        job_key=AeadKey.generate(DeterministicRandomSource(SEED)),
     )
     corpus = _corpus(records)
     result = engine.run(corpus, checkpoint=MapReduceCheckpoint())

@@ -44,6 +44,11 @@ from repro.crypto.aead import AeadKey, SealedBatch
 from repro.crypto.primitives import hmac_sha256
 from repro.retry import BackoffClock, RetryPolicy, retry_call
 from repro.sgx.enclave import EnclaveCode
+from repro.telemetry import (
+    DEFAULT_CYCLE_BUCKETS,
+    default_registry,
+    exponential_buckets,
+)
 
 
 def plain_mapreduce(map_fn, reduce_fn, records):
@@ -267,6 +272,28 @@ class SecureMapReduce:
         self.crashes_detected = 0
         self.splits_resumed = 0
         self._recovery_lock = threading.Lock()
+        # Worker threads share the platform clock, so a *per-task*
+        # cycle delta would fold in whatever the other threads charged
+        # meanwhile -- a nondeterministic number.  The registry instead
+        # gets per-split sealed sizes (thread-free facts) and whole-
+        # phase clock deltas measured from the driver thread after the
+        # pool joins.
+        registry = default_registry()
+        self._tel_map_tasks = registry.counter("bigdata.map_tasks")
+        self._tel_reduce_tasks = registry.counter("bigdata.reduce_tasks")
+        self._tel_sealed_bytes = registry.counter("bigdata.sealed_bytes_moved")
+        self._tel_crashes = registry.counter("bigdata.crashes_detected")
+        self._tel_resumed = registry.counter("bigdata.splits_resumed")
+        self._tel_checkpoints = registry.counter("bigdata.checkpoint_records")
+        self._tel_split_bytes = registry.histogram(
+            "bigdata.split_bytes", buckets=exponential_buckets(64, 4, 10)
+        )
+        self._tel_map_phase = registry.histogram(
+            "bigdata.map_phase_cycles", buckets=DEFAULT_CYCLE_BUCKETS
+        )
+        self._tel_reduce_phase = registry.histogram(
+            "bigdata.reduce_phase_cycles", buckets=DEFAULT_CYCLE_BUCKETS
+        )
 
     def _spawn_worker(self, name):
         """Load, (re-)attest, and provision one worker enclave."""
@@ -308,6 +335,7 @@ class SecureMapReduce:
             with self._recovery_lock:
                 self.crashes_detected += 1
                 self.backoff.sleep(delay)
+            self._tel_crashes.inc()
 
         if self.retry_policy is None:
             return attempt_once(1)
@@ -356,6 +384,8 @@ class SecureMapReduce:
             _seal_batch(self.job_key, b"split", split)
             for split in self._splits(records)
         ]
+        for sealed in sealed_splits:
+            self._tel_split_bytes.observe(len(sealed))
         # 2. Map phase: every mapper's ecall runs on its own thread;
         #    results are merged on the driver thread so the
         #    sealed_bytes_moved accounting never races.  Crashed tasks
@@ -369,6 +399,7 @@ class SecureMapReduce:
             if index not in done
         ]
         self.splits_resumed += len(sealed_splits) - len(pending)
+        self._tel_resumed.inc(len(sealed_splits) - len(pending))
 
         def run_map(task):
             index, sealed = task
@@ -380,15 +411,22 @@ class SecureMapReduce:
 
         partition_maps = dict(done)
         if pending:
+            map_phase_start = self.platform.clock.now
             with ThreadPoolExecutor(max_workers=len(pending)) as pool:
                 for index, partitions in pool.map(run_map, pending):
                     partition_maps[index] = partitions
                     if checkpoint is not None:
                         checkpoint.record_map(index, partitions)
+                        self._tel_checkpoints.inc()
+            self._tel_map_tasks.inc(len(pending))
+            self._tel_map_phase.observe(
+                self.platform.clock.now - map_phase_start
+            )
         shuffle_bins = defaultdict(list)
         for index in sorted(partition_maps):
             for partition, blob in partition_maps[index].items():
                 self.sealed_bytes_moved += len(blob)
+                self._tel_sealed_bytes.inc(len(blob))
                 shuffle_bins[partition].append(blob)
         # 3. Reduce phase, same pattern: concurrent ecalls, serial
         #    merge, bounded re-execution, per-partition checkpoints.
@@ -409,15 +447,22 @@ class SecureMapReduce:
 
         output_blobs = dict(reduce_done)
         if reduce_pending:
+            reduce_phase_start = self.platform.clock.now
             with ThreadPoolExecutor(max_workers=len(reduce_pending)) as pool:
                 for partition, blob in pool.map(run_reduce, reduce_pending):
                     output_blobs[partition] = blob
                     if checkpoint is not None:
                         checkpoint.record_reduce(partition, blob)
+                        self._tel_checkpoints.inc()
+            self._tel_reduce_tasks.inc(len(reduce_pending))
+            self._tel_reduce_phase.observe(
+                self.platform.clock.now - reduce_phase_start
+            )
         merged = {}
         for partition in sorted(output_blobs):
             output_blob = output_blobs[partition]
             self.sealed_bytes_moved += len(output_blob)
+            self._tel_sealed_bytes.inc(len(output_blob))
             for key_repr, value in _open_batch(
                 self.job_key, b"output", output_blob
             ):

@@ -151,14 +151,21 @@ def run_chaos_check():
     failover scenarios twice each with the same seed and fails unless
     both passes produce identical rows -- seeded fault injection (and
     the fault log / delivery set it produces) must be reproducible or
-    every chaos test is flaky by construction.
+    every chaos test is flaky by construction.  Each pass runs under a
+    fresh metrics registry and the canonical snapshots must also be
+    byte-identical: the telemetry plane may not observe anything the
+    seed does not determine.
     """
+    from repro import telemetry
+
     start = time.perf_counter()
     total = 0
     for experiment_id in ("e5", "e6"):
         _module, function = _load(experiment_id)
-        first = function(smoke=True)
-        second = function(smoke=True)
+        with telemetry.enabled() as first_registry:
+            first = function(smoke=True)
+        with telemetry.enabled() as second_registry:
+            second = function(smoke=True)
         if first != second:
             print(
                 "chaos determinism FAILED: two same-seed %s runs diverged"
@@ -168,11 +175,172 @@ def run_chaos_check():
                 marker = "  " if row_a == row_b else "!="
                 print("%s %r | %r" % (marker, row_a, row_b))
             return 1
+        if first_registry.to_json() != second_registry.to_json():
+            print(
+                "chaos determinism FAILED: two same-seed %s runs produced "
+                "different metric snapshots" % experiment_id
+            )
+            snap_a = first_registry.snapshot()
+            snap_b = second_registry.snapshot()
+            for section in sorted(set(snap_a) | set(snap_b)):
+                values_a = snap_a.get(section, {})
+                values_b = snap_b.get(section, {})
+                for name in sorted(set(values_a) | set(values_b)):
+                    if values_a.get(name) != values_b.get(name):
+                        print("!= %s %s: %r | %r" % (
+                            section, name,
+                            values_a.get(name), values_b.get(name),
+                        ))
+            return 1
         _render(experiment_id, first)
         total += len(first)
     print(
-        "chaos determinism ok: %d scenarios identical across two runs "
-        "(%.1fs)" % (total, time.perf_counter() - start)
+        "chaos determinism ok: %d scenarios identical across two runs, "
+        "metric snapshots byte-identical (%.1fs)"
+        % (total, time.perf_counter() - start)
+    )
+    return 0
+
+
+def run_metrics(experiment_id):
+    """Run one experiment with telemetry enabled and dump the snapshot.
+
+    The experiment runs in smoke mode (where supported) under a fresh
+    live registry; the canonical metric snapshot is printed as JSON and
+    -- because the benchmark harness sees the live registry -- a
+    ``benchmarks/out/<id>.telemetry.json`` sidecar is written next to
+    the usual table artifacts.
+    """
+    import json
+
+    from repro import telemetry
+    from benchmarks import _harness
+
+    module, function = _load(experiment_id)
+    with telemetry.enabled() as registry:
+        if "smoke" in inspect.signature(function).parameters:
+            function(smoke=True)
+        else:
+            function()
+        # Most benchmarks report() from their pytest wrapper, so write
+        # the sidecar here under the module's artifact name.
+        artifact = module.__name__.rpartition(".")[2]
+        if artifact.startswith("bench_"):
+            artifact = artifact[len("bench_"):]
+        path = _harness.write_telemetry_sidecar(artifact, registry)
+    print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+    if path:
+        print("telemetry sidecar written: %s" % path, file=sys.stderr)
+    return 0
+
+
+def _traced_publish(seed=66, shards=3, subscriptions=24, publications=4):
+    """Drive a telemetry-enabled sharded plane through a short stream.
+
+    Returns ``(router, operator_key, tracer)`` after the last
+    publication: the host-side tracer holds the driver's plaintext
+    spans, and every enclave holds sealed spans exportable only under
+    ``operator_key``.
+    """
+    from repro.crypto.aead import AeadKey
+    from repro.scbr.filters import Publication, Subscription
+    from repro.scbr.messages import EncryptedEnvelope, serialize_publication
+    from repro.scbr.router import ScbrClient
+    from repro.scbr.sharding import ShardedScbrRouter
+    from repro.scbr.workload import ScbrWorkload
+    from repro.sgx.attestation import AttestationService
+    from repro.sgx.platform import SgxPlatform
+    from repro.telemetry import SpanRecorder
+
+    operator_key = AeadKey.generate()
+    tracer = SpanRecorder("driver")
+    platform = SgxPlatform(seed=seed, quoting_key_bits=512)
+    attestation = AttestationService()
+    attestation.register_platform(
+        platform.platform_id, platform.quoting_enclave.public_key
+    )
+    router = ShardedScbrRouter(
+        platform,
+        lambda i: SgxPlatform(seed=100 * seed + i, quoting_key_bits=512),
+        attestation_service=attestation,
+        shards=shards,
+        telemetry_key=operator_key,
+        tracer=tracer,
+    )
+    attestation.trust_measurement(router.measurement)
+    alice = ScbrClient("alice", router, attestation)
+    workload = ScbrWorkload(seed=seed, num_attributes=6,
+                            containment_fraction=0.5, num_subscribers=1)
+    for subscription in workload.subscriptions(subscriptions):
+        alice.subscribe(Subscription(
+            subscription.subscription_id,
+            list(subscription.constraints.values()),
+            "alice",
+        ))
+    publisher = ScbrClient("publisher", router, attestation)
+    for publication in workload.publications(publications):
+        envelope = EncryptedEnvelope.seal(
+            publisher.key, publisher.client_id, "publish",
+            serialize_publication(Publication(publication.attributes)),
+        )
+        router.publish(envelope)
+    return router, operator_key, tracer
+
+
+def run_trace(seed=66):
+    """Reconstruct an end-to-end publish flame view across enclaves.
+
+    Publishes through a telemetry-enabled sharded plane, opens each
+    enclave's sealed snapshot with the operator key, joins in-enclave
+    spans with the driver's spans into one tree, and renders the last
+    publication's publish->match->notify flame view.  Fails unless the
+    root span's duration equals the plane's benchmark-reported publish
+    latency (``last_publish_cycles``) within the publish histogram's
+    bucket resolution at that value.
+    """
+    from repro import telemetry
+
+    with telemetry.enabled() as registry:
+        router, operator_key, tracer = _traced_publish(seed=seed)
+        sealed = router.export_telemetry()
+
+    spans = list(tracer.spans)
+    for origin, blob in sealed:
+        payload = telemetry.open_snapshot(operator_key, blob)
+        enclave_spans = telemetry.spans_from_snapshot(payload)
+        spans.extend(enclave_spans)
+        counters = payload.get("metrics", {}).get("counters", {})
+        print("sealed snapshot %-8s %d spans  %s" % (
+            origin, len(enclave_spans),
+            "  ".join("%s=%s" % (name, counters[name])
+                      for name in sorted(counters)),
+        ))
+
+    roots = [span for span in tracer.spans if span.name == "scbr.publish"]
+    if not roots:
+        print("trace FAILED: no publish root span recorded")
+        return 1
+    root = roots[-1]
+    tree = telemetry.build_span_tree(spans, trace_id=root.trace_id)
+    print()
+    print(telemetry.render_flame(tree))
+
+    histogram = registry.histogram(
+        "scbr.publish_cycles", buckets=telemetry.DEFAULT_CYCLE_BUCKETS
+    )
+    tolerance = histogram.resolution(router.last_publish_cycles)
+    delta = abs(root.duration - router.last_publish_cycles)
+    if delta > tolerance:
+        print(
+            "trace FAILED: root span %.0f cycles vs. benchmark latency "
+            "%.0f cycles (delta %.0f > bucket resolution %.4g)"
+            % (root.duration, router.last_publish_cycles, delta, tolerance)
+        )
+        return 1
+    print(
+        "trace ok: root span %.0f cycles == benchmark publish latency "
+        "%.0f cycles (bucket resolution %.4g)"
+        % (root.duration, router.last_publish_cycles, tolerance)
     )
     return 0
 
@@ -280,6 +448,18 @@ def main(argv=None):
         "--update", action="store_true",
         help="regenerate the gate baselines instead of comparing",
     )
+    metrics = commands.add_parser(
+        "metrics", help="run one experiment with telemetry on, dump snapshot"
+    )
+    metrics.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    trace = commands.add_parser(
+        "trace",
+        help="reconstruct a cross-enclave publish flame view from sealed "
+             "telemetry",
+    )
+    trace.add_argument(
+        "--seed", type=int, default=66, help="workload seed (default 66)"
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.command == "list":
@@ -293,6 +473,10 @@ def main(argv=None):
         return status
     if arguments.command == "gate":
         return run_gate(update=arguments.update)
+    if arguments.command == "metrics":
+        return run_metrics(arguments.experiment)
+    if arguments.command == "trace":
+        return run_trace(seed=arguments.seed)
     targets = (
         sorted(EXPERIMENTS)
         if arguments.experiment == "all"

@@ -26,6 +26,7 @@ from collections import OrderedDict
 
 from repro.errors import ConfigurationError, IntegrityError
 from repro.crypto.aead import Ciphertext
+from repro.telemetry import DEFAULT_SECONDS_BUCKETS, default_registry
 
 
 class SealedEvent:
@@ -131,8 +132,14 @@ class EventBus:
         self.latency = latency
         self._subscribers = {}
         self._sequences = {}
+        # The plain attributes stay: tests and benchmark reports read
+        # them, and the default registry is a no-op.  The registry
+        # handles mirror them for enabled-telemetry runs.
         self.delivered = 0
         self.published = 0
+        registry = default_registry()
+        self._tel_published = registry.counter("bus.published")
+        self._tel_delivered = registry.counter("bus.delivered")
 
     def subscribe(self, topic, handler):
         """Register ``handler(event)`` for ``topic``; returns unsubscribe."""
@@ -153,12 +160,14 @@ class EventBus:
     def publish(self, event):
         """Queue ``event`` for delivery after the bus latency."""
         self.published += 1
+        self._tel_published.inc()
         handlers = list(self._subscribers.get(event.topic, ()))
         timeout = self.env.timeout(self.latency, value=event)
 
         def deliver(fired):
             for handler in handlers:
                 self.delivered += 1
+                self._tel_delivered.inc()
                 handler(fired.value)
 
         timeout.callbacks.append(deliver)
@@ -175,6 +184,7 @@ class EventBus:
         """
         events = list(events)
         self.published += len(events)
+        self._tel_published.inc(len(events))
         plan = [
             (event, list(self._subscribers.get(event.topic, ())))
             for event in events
@@ -185,6 +195,7 @@ class EventBus:
             for event, handlers in plan:
                 for handler in handlers:
                     self.delivered += 1
+                    self._tel_delivered.inc()
                     handler(event)
 
         timeout.callbacks.append(deliver)
@@ -212,6 +223,7 @@ class ReliableEventBus(EventBus):
         self.retention = retention
         self._retained = {}
         self.redelivered = 0
+        self._tel_redelivered = default_registry().counter("bus.redelivered")
 
     def _retain(self, event):
         window = self._retained.setdefault(event.topic, OrderedDict())
@@ -250,6 +262,7 @@ class ReliableEventBus(EventBus):
                 continue
             found.append(sequence)
             self.redelivered += 1
+            self._tel_redelivered.inc()
             targets = (
                 [handler] if handler is not None
                 else list(self._subscribers.get(topic, ()))
@@ -301,6 +314,18 @@ class ReliableSubscriber:
         self.lost = []
         self._lost_set = set()
         self.recovery_latencies = []
+        registry = default_registry()
+        self._tel_delivered = registry.counter(
+            "bus.subscriber.delivered", topic=topic
+        )
+        self._tel_duplicates = registry.counter(
+            "bus.subscriber.duplicates", topic=topic
+        )
+        self._tel_nacks = registry.counter("bus.subscriber.nacks", topic=topic)
+        self._tel_lost = registry.counter("bus.subscriber.lost", topic=topic)
+        self._tel_recovery = registry.histogram(
+            "bus.gap_recovery_seconds", buckets=DEFAULT_SECONDS_BUCKETS
+        )
         bus.subscribe(topic, self.observe)
 
     def observe(self, event):
@@ -313,6 +338,7 @@ class ReliableSubscriber:
         sequence = event.sequence
         if sequence < self._expected or sequence in self._pending:
             self.duplicates += 1
+            self._tel_duplicates.inc()
             return
         self._pending[sequence] = event
         self._drain()
@@ -339,9 +365,11 @@ class ReliableSubscriber:
                 detected = self._gap_detected_at.pop(self._expected, None)
                 if detected is not None:
                     self.recovery_latencies.append(self.bus.env.now - detected)
+                    self._tel_recovery.observe(self.bus.env.now - detected)
                 self._nack_counts.pop(self._expected, None)
                 self._expected += 1
                 self.delivered += 1
+                self._tel_delivered.inc()
                 self.handler(event)
             elif self._expected in self._lost_set:
                 # A hole we already gave up on: step over it so later
@@ -358,11 +386,13 @@ class ReliableSubscriber:
                 # in-order delivery past the hole.
                 self.lost.append(sequence)
                 self._lost_set.add(sequence)
+                self._tel_lost.inc()
                 self._gap_detected_at.pop(sequence, None)
                 self._drain()
             return
         self._nack_counts[sequence] = attempts + 1
         self.nacks += 1
+        self._tel_nacks.inc()
         self.bus.redeliver(self.topic, [sequence], handler=self.observe)
         self.bus.env.call_later(
             self.nack_timeout, lambda: self._recheck(sequence)

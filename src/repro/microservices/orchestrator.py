@@ -20,6 +20,8 @@ benchmark reports.
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.telemetry import DEFAULT_SECONDS_BUCKETS, default_registry
+
 
 @dataclass
 class OrchestratorPolicy:
@@ -87,9 +89,26 @@ class Orchestrator:
         self.registry = registry
         self.policy = policy or OrchestratorPolicy()
         self.on_detection = on_detection
+        # The lists and the reactions count remain the functional
+        # record (benchmarks and tests read them; the default registry
+        # is a no-op) -- the metrics registry mirrors them.  Note
+        # ``registry`` here is the *service* registry; the metrics
+        # registry is the process default.
         self.detections = []
         self.recoveries = []
         self.reactions = 0
+        self._metrics = default_registry()
+        self._tel_reactions = self._metrics.counter("orchestrator.reactions")
+        self._tel_recoveries = self._metrics.counter(
+            "orchestrator.recovery_episodes"
+        )
+        self._tel_detection_latency = self._metrics.histogram(
+            "orchestrator.detection_latency_seconds",
+            buckets=DEFAULT_SECONDS_BUCKETS,
+        )
+        self._tel_recovery_seconds = self._metrics.histogram(
+            "orchestrator.recovery_seconds", buckets=DEFAULT_SECONDS_BUCKETS
+        )
         self._onsets = {}
         self._flagged = set()
         self._cooldown_until = {}
@@ -131,6 +150,8 @@ class Orchestrator:
             onset=onset if onset is not None else self._onsets.get(name),
         )
         self.recoveries.append(episode)
+        self._tel_recoveries.inc()
+        self._tel_recovery_seconds.observe(recovery_seconds)
         return episode
 
     def start(self, duration):
@@ -172,6 +193,9 @@ class Orchestrator:
             onset=self._onsets.get(service_name),
         )
         self.detections.append(detection)
+        self._metrics.counter("orchestrator.detections", kind=kind).inc()
+        if detection.detection_latency is not None:
+            self._tel_detection_latency.observe(detection.detection_latency)
         self._flagged.add(service_name)
         self._react(service_name, kind)
         if self.on_detection is not None:
@@ -184,6 +208,7 @@ class Orchestrator:
     def _react(self, service_name, kind):
         """Adapt the infrastructure hosting the service."""
         self.reactions += 1
+        self._tel_reactions.inc()
         try:
             service = self.registry.lookup(service_name)
         except Exception:

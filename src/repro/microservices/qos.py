@@ -10,6 +10,8 @@ usage.
 
 from dataclasses import dataclass, field
 
+from repro.telemetry import DEFAULT_SECONDS_BUCKETS, default_registry
+
 
 @dataclass
 class ServiceMetrics:
@@ -43,6 +45,15 @@ class QosMonitor:
     def __init__(self, env):
         self.env = env
         self.metrics = {}
+        # ServiceMetrics stays the functional store (billing and the
+        # orchestrator read it); the registry mirrors the counts so an
+        # enabled-telemetry run sees per-service QoS without touching
+        # the billing path.
+        self._registry = default_registry()
+        self._tel_latency = self._registry.histogram(
+            "qos.handling_latency_seconds", buckets=DEFAULT_SECONDS_BUCKETS
+        )
+        self._tel_heartbeats = self._registry.counter("qos.heartbeats")
 
     def attach(self, service):
         """Start observing a service."""
@@ -56,12 +67,17 @@ class QosMonitor:
     def _observe(self, service, _event, latency):
         state = self.metrics[service.name]
         state.observe(latency, self.env.now)
+        self._registry.counter(
+            "qos.events_handled", service=service.name
+        ).inc()
+        self._tel_latency.observe(latency)
 
     def heartbeat(self, service_name):
         """Explicit liveness signal (services emit these periodically)."""
         state = self.metrics.get(service_name)
         if state is not None:
             state.last_heartbeat = self.env.now
+            self._tel_heartbeats.inc()
 
     def of(self, service_name):
         """Metrics for one service."""

@@ -73,6 +73,13 @@ from repro.sgx.costs import DEFAULT_COSTS
 from repro.sgx.enclave import EnclaveCode
 from repro.sgx.memory import EpcModel, SimulatedMemory
 from repro.sim.clock import CycleClock, cycles_to_seconds
+from repro.telemetry import (
+    DEFAULT_CYCLE_BUCKETS,
+    EnclaveTelemetry,
+    NULL_RECORDER,
+    NULL_REGISTRY,
+    default_registry,
+)
 
 # Associated-data labels of the intra-plane (coordinator <-> shard)
 # message kinds; all ride the shared plane key.
@@ -242,6 +249,13 @@ class ShardedMatchingPlane:
         self.match_cycles = 0
         self.last_match_cycles = 0
         self.visits_last_match = 0
+        registry = default_registry()
+        self._tel_matches = registry.counter("scbr.plane.matches")
+        self._tel_match_cycles = registry.histogram(
+            "scbr.plane.match_cycles", buckets=DEFAULT_CYCLE_BUCKETS
+        )
+        self._tel_splits = registry.counter("scbr.plane.splits")
+        self._tel_visits = registry.counter("scbr.plane.visits")
 
     def _spawn_shard(self):
         shard = MatchingShard(
@@ -299,6 +313,7 @@ class ShardedMatchingPlane:
             self._home[subscription.subscription_id] = fresh
         self.splits += 1
         self.migrated += len(moved)
+        self._tel_splits.inc()
         return fresh
 
     def remove(self, subscription_id):
@@ -336,6 +351,9 @@ class ShardedMatchingPlane:
         self.last_match_cycles = slowest
         self.match_cycles += slowest
         self.visits_last_match = visits
+        self._tel_matches.inc()
+        self._tel_match_cycles.observe(slowest)
+        self._tel_visits.inc(visits)
         return union
 
     def check_invariants(self):
@@ -375,14 +393,43 @@ def _open_plane(ctx, blob, aad):
         raise IntegrityError("plane message failed authentication") from exc
 
 
+def _tel(ctx):
+    """In-enclave telemetry handles for this enclave's state.
+
+    Shared no-ops when the enclave was set up without a telemetry key
+    -- the plane then records nothing inside enclaves, and the trace
+    context riding the ECALLs is simply ignored.
+    """
+    telemetry = ctx.state.get("telemetry")
+    if telemetry is None:
+        return NULL_REGISTRY, NULL_RECORDER
+    return telemetry.registry, telemetry.recorder
+
+
+def plane_telemetry_export(ctx):
+    """ECALL (both codes): sealed telemetry snapshot, or None.
+
+    The host relays the returned blob as-is; it is AEAD-sealed under
+    the telemetry key provisioned at setup, so in-enclave timings
+    reach only the operator holding that key.
+    """
+    telemetry = ctx.state.get("telemetry")
+    if telemetry is None:
+        return None
+    return telemetry.export_sealed()
+
+
 def shard_setup(ctx, shard_id, record_bytes=DEFAULT_RECORD_BYTES,
-                attestation=None, coordinator_measurement=None):
+                attestation=None, coordinator_measurement=None,
+                telemetry_key=None):
     """ECALL: initialise an empty partition.
 
     ``attestation`` / ``coordinator_measurement`` (optional) let the
     shard verify the coordinator's quote during the join handshake;
     omitting them models a deployment that pins trust at the client
-    side only.
+    side only.  ``telemetry_key`` (optional) provisions in-enclave
+    telemetry: match timings are then recorded inside the enclave and
+    leave only as sealed snapshots (:func:`plane_telemetry_export`).
     """
     ctx.state["shard_id"] = shard_id
     ctx.state["record_bytes"] = record_bytes
@@ -393,6 +440,10 @@ def shard_setup(ctx, shard_id, record_bytes=DEFAULT_RECORD_BYTES,
     ctx.state["version"] = 0
     ctx.state["attestation"] = attestation
     ctx.state["coordinator_measurement"] = coordinator_measurement
+    if telemetry_key is not None:
+        ctx.state["telemetry"] = EnclaveTelemetry(
+            telemetry_key, "shard-%d" % shard_id
+        )
     return True
 
 
@@ -471,7 +522,7 @@ def shard_remove(ctx, subscription_id, client_id):
     return True
 
 
-def shard_match(ctx, sealed_publication):
+def shard_match(ctx, sealed_publication, trace=None):
     """ECALL: match one plane-sealed publication against the partition.
 
     Returns ``(sealed matches, visits)``: the matches travel back to
@@ -481,19 +532,33 @@ def shard_match(ctx, sealed_publication):
     answered -- so a missing shard can never silently shrink a match
     set.  The visit count is an operational counter the host could
     read via stats anyway.
+
+    ``trace`` is the host's ``(trace_id, span_id)`` publish context;
+    when this shard records telemetry, its match span parents under it
+    -- but the span itself (match count, in-enclave elapsed cycles)
+    stays sealed.
     """
-    publication = deserialize_publication(
-        _open_plane(ctx, sealed_publication, _AAD_PUBLICATION)
-    )
-    index = ctx.state["index"]
-    matched = index.match(publication)
-    owners = ctx.state["owners"]
-    pairs = sorted((sid, owners[sid]) for sid in matched)
-    payload = json.dumps(
-        {"shard": ctx.state["shard_id"], "pairs": pairs}
-    ).encode("utf-8")
-    ctx.compute(SEAL_SETUP_CYCLES + SEAL_CYCLES_PER_BYTE * len(payload))
-    blob = _plane_key(ctx).encrypt(payload, aad=_AAD_MATCHED).to_bytes()
+    registry, recorder = _tel(ctx)
+    with recorder.span("shard.match", ctx.clock, trace=trace) as span:
+        publication = deserialize_publication(
+            _open_plane(ctx, sealed_publication, _AAD_PUBLICATION)
+        )
+        index = ctx.state["index"]
+        matched = index.match(publication)
+        owners = ctx.state["owners"]
+        pairs = sorted((sid, owners[sid]) for sid in matched)
+        payload = json.dumps(
+            {"shard": ctx.state["shard_id"], "pairs": pairs}
+        ).encode("utf-8")
+        ctx.compute(SEAL_SETUP_CYCLES + SEAL_CYCLES_PER_BYTE * len(payload))
+        blob = _plane_key(ctx).encrypt(payload, aad=_AAD_MATCHED).to_bytes()
+        span.attrs["visits"] = index.visits_last_match
+        span.attrs["matches"] = len(pairs)
+        registry.counter("scbr.shard.matched_pairs").inc(len(pairs))
+        registry.histogram(
+            "scbr.shard.match_visits",
+            buckets=(1, 4, 16, 64, 256, 1024, 4096, 16384),
+        ).observe(index.visits_last_match)
     return blob, index.visits_last_match
 
 
@@ -642,6 +707,7 @@ SHARD_ENTRY_POINTS = {
     "snapshot": shard_snapshot,
     "restore": shard_restore,
     "stats": shard_stats,
+    "telemetry_export": plane_telemetry_export,
 }
 
 SHARD_CODE = EnclaveCode("scbr-shard", SHARD_ENTRY_POINTS)
@@ -659,12 +725,15 @@ def _coord_client_key(ctx, client_id):
     return key
 
 
-def coord_setup(ctx, attestation=None, shard_measurement=None):
+def coord_setup(ctx, attestation=None, shard_measurement=None,
+                telemetry_key=None):
     """ECALL: initialise the coordinator; mints the plane key in-enclave.
 
     ``attestation`` + ``shard_measurement`` pin which shard code may
     join the plane; without them any joiner that completes the DH
     exchange is admitted (trusting-driver mode, as in map/reduce).
+    ``telemetry_key`` (optional) provisions sealed in-enclave telemetry,
+    exported via :func:`plane_telemetry_export`.
     """
     ctx.state["plane_key"] = AeadKey.generate()
     ctx.state["attestation"] = attestation
@@ -673,6 +742,8 @@ def coord_setup(ctx, attestation=None, shard_measurement=None):
     ctx.state["pending_publications"] = {}
     ctx.state["next_token"] = 0
     ctx.state["enrolled"] = set()
+    if telemetry_key is not None:
+        ctx.state["telemetry"] = EnclaveTelemetry(telemetry_key, "coord")
     return True
 
 
@@ -731,7 +802,7 @@ def coord_authorize(ctx, client_id):
     return True
 
 
-def coord_ingest(ctx, envelope):
+def coord_ingest(ctx, envelope, trace=None):
     """ECALL: open a client publication; seal it *once* for all shards.
 
     The serialized publication is parked under a token until
@@ -740,31 +811,34 @@ def coord_ingest(ctx, envelope):
     share the plane key, so the fan-out costs one seal regardless of
     the shard count.
     """
-    key = _coord_client_key(ctx, envelope.sender)
-    if envelope.kind != "publish":
-        raise IntegrityError("expected a publication envelope")
-    serialized = envelope.open(key)
-    # Validate before fanning out; a malformed publication must fail
-    # here, not on every shard.
-    deserialize_publication(serialized)
-    ctx.compute(SERIALIZE_CYCLES_PER_BYTE * len(serialized))
-    token = ctx.state["next_token"]
-    ctx.state["next_token"] = token + 1
-    # Park the publication together with the coverage the plane owes
-    # it: the set of partitions enrolled *now*.  Finalize will compare
-    # who actually answered against this roster, so a shard dying
-    # between ingest and finalize cannot silently shrink the match set.
-    ctx.state["pending_publications"][token] = (
-        serialized, frozenset(ctx.state.get("enrolled", ())),
-    )
-    ctx.compute(SEAL_SETUP_CYCLES + SEAL_CYCLES_PER_BYTE * len(serialized))
-    sealed = ctx.state["plane_key"].encrypt(
-        serialized, aad=_AAD_PUBLICATION
-    ).to_bytes()
+    registry, recorder = _tel(ctx)
+    with recorder.span("coord.ingest", ctx.clock, trace=trace):
+        key = _coord_client_key(ctx, envelope.sender)
+        if envelope.kind != "publish":
+            raise IntegrityError("expected a publication envelope")
+        serialized = envelope.open(key)
+        # Validate before fanning out; a malformed publication must fail
+        # here, not on every shard.
+        deserialize_publication(serialized)
+        ctx.compute(SERIALIZE_CYCLES_PER_BYTE * len(serialized))
+        token = ctx.state["next_token"]
+        ctx.state["next_token"] = token + 1
+        # Park the publication together with the coverage the plane owes
+        # it: the set of partitions enrolled *now*.  Finalize will compare
+        # who actually answered against this roster, so a shard dying
+        # between ingest and finalize cannot silently shrink the match set.
+        ctx.state["pending_publications"][token] = (
+            serialized, frozenset(ctx.state.get("enrolled", ())),
+        )
+        ctx.compute(SEAL_SETUP_CYCLES + SEAL_CYCLES_PER_BYTE * len(serialized))
+        sealed = ctx.state["plane_key"].encrypt(
+            serialized, aad=_AAD_PUBLICATION
+        ).to_bytes()
+        registry.counter("scbr.coord.publications").inc()
     return token, sealed
 
 
-def coord_finalize(ctx, token, match_blobs):
+def coord_finalize(ctx, token, match_blobs, trace=None):
     """ECALL: merge shard matches into per-subscriber notifications.
 
     Dedupes by subscriber across *all* shards (a subscriber's matching
@@ -777,39 +851,56 @@ def coord_finalize(ctx, token, match_blobs):
     Each match blob authenticates the shard id it came from, so the
     untrusted driver can neither forge an answer for a dead shard nor
     double-count one shard as two -- coverage is judged in-enclave.
+
+    Match counts are secret (they reveal which publications matter to
+    whom), so the dedupe accounting -- matched pairs in, deduplicated
+    notifications out -- is recorded here, inside the enclave, and
+    leaves only sealed.
     """
-    pending = ctx.state["pending_publications"].pop(token, None)
-    if pending is None:
-        raise ConfigurationError("no pending publication %r" % token)
-    serialized, expected = pending
-    plane_key = ctx.state["plane_key"]
-    by_subscriber = {}
-    answered = set()
-    for blob in match_blobs:
-        try:
-            payload = plane_key.decrypt(
-                Ciphertext.from_bytes(blob), aad=_AAD_MATCHED
+    registry, recorder = _tel(ctx)
+    with recorder.span("coord.finalize", ctx.clock, trace=trace) as span:
+        pending = ctx.state["pending_publications"].pop(token, None)
+        if pending is None:
+            raise ConfigurationError("no pending publication %r" % token)
+        serialized, expected = pending
+        plane_key = ctx.state["plane_key"]
+        by_subscriber = {}
+        answered = set()
+        pairs_in = 0
+        for blob in match_blobs:
+            try:
+                payload = plane_key.decrypt(
+                    Ciphertext.from_bytes(blob), aad=_AAD_MATCHED
+                )
+            except IntegrityError as exc:
+                raise IntegrityError(
+                    "shard match result failed authentication"
+                ) from exc
+            record = json.loads(payload.decode("utf-8"))
+            answered.add(record["shard"])
+            for subscription_id, subscriber in record["pairs"]:
+                by_subscriber.setdefault(subscriber, []).append(
+                    subscription_id
+                )
+                pairs_in += 1
+        missing = sorted(expected - answered)
+        sealer = ctx.state["notification_sealer"]
+        routed = []
+        for subscriber in sorted(by_subscriber):
+            envelope = sealer.seal(
+                subscriber,
+                _coord_client_key(ctx, subscriber),
+                serialized,
+                by_subscriber[subscriber],
             )
-        except IntegrityError as exc:
-            raise IntegrityError(
-                "shard match result failed authentication"
-            ) from exc
-        record = json.loads(payload.decode("utf-8"))
-        answered.add(record["shard"])
-        for subscription_id, subscriber in record["pairs"]:
-            by_subscriber.setdefault(subscriber, []).append(subscription_id)
-    missing = sorted(expected - answered)
-    sealer = ctx.state["notification_sealer"]
-    routed = []
-    for subscriber in sorted(by_subscriber):
-        envelope = sealer.seal(
-            subscriber,
-            _coord_client_key(ctx, subscriber),
-            serialized,
-            by_subscriber[subscriber],
-        )
-        ctx.compute(SEAL_SETUP_CYCLES + SEAL_CYCLES_PER_BYTE * len(envelope.blob))
-        routed.append((subscriber, envelope))
+            ctx.compute(
+                SEAL_SETUP_CYCLES + SEAL_CYCLES_PER_BYTE * len(envelope.blob)
+            )
+            routed.append((subscriber, envelope))
+        span.attrs["pairs"] = pairs_in
+        span.attrs["notifications"] = len(routed)
+        registry.counter("scbr.coord.matched_pairs").inc(pairs_in)
+        registry.counter("scbr.coord.notifications").inc(len(routed))
     return routed, missing
 
 
@@ -822,6 +913,7 @@ COORD_ENTRY_POINTS = {
     "authorize": coord_authorize,
     "ingest": coord_ingest,
     "finalize": coord_finalize,
+    "telemetry_export": plane_telemetry_export,
 }
 
 COORD_CODE = EnclaveCode("scbr-coordinator", COORD_ENTRY_POINTS)
@@ -905,7 +997,8 @@ class ShardedScbrRouter:
                  record_bytes=DEFAULT_RECORD_BYTES, policy=None,
                  auto_split=True, env=None, chaos=None, orchestrator=None,
                  health_policy=None, snapshot_interval=16,
-                 on_partial="retry", retry_policy=None):
+                 on_partial="retry", retry_policy=None,
+                 telemetry_key=None, tracer=None):
         if shards < 1:
             raise ConfigurationError("need at least one shard")
         if on_partial not in ("retry", "report"):
@@ -936,9 +1029,40 @@ class ShardedScbrRouter:
             ShardHealthMonitor(env, health_policy, chaos)
             if env is not None else None
         )
+        # Telemetry: the operator's key for sealed in-enclave snapshots
+        # (None disables in-enclave recording entirely) and a host-side
+        # span recorder for the driver's own clock domain.
+        self.telemetry_key = telemetry_key
+        self.tracer = tracer if tracer is not None else NULL_RECORDER
+        registry = default_registry()
+        self._tel_publications = registry.counter("scbr.publications")
+        self._tel_subscribes = registry.counter("scbr.subscribes")
+        self._tel_unsubscribes = registry.counter("scbr.unsubscribes")
+        self._tel_publish_cycles = registry.histogram(
+            "scbr.publish_cycles", buckets=DEFAULT_CYCLE_BUCKETS
+        )
+        # One observation per coverage-tracked fan-out: how long the
+        # coordinator waited for the slowest shard (the parked
+        # publication's critical path).
+        self._tel_coverage_wait = registry.histogram(
+            "scbr.coverage_wait_cycles", buckets=DEFAULT_CYCLE_BUCKETS
+        )
+        self._tel_shard_match = registry.histogram(
+            "scbr.shard_match_cycles", buckets=DEFAULT_CYCLE_BUCKETS
+        )
+        self._tel_visits = registry.counter("scbr.visits")
+        self._tel_failures = registry.counter("scbr.shard_failures")
+        self._tel_recoveries = registry.counter("scbr.recoveries")
+        self._tel_recovery_cycles = registry.histogram(
+            "scbr.recovery_cycles", buckets=DEFAULT_CYCLE_BUCKETS
+        )
+        self._tel_splits = registry.counter("scbr.splits")
+        self._tel_partial = registry.counter("scbr.partial_publishes")
+        self._tel_snapshots = registry.counter("scbr.snapshots")
         self.coordinator = platform.load_enclave(COORD_CODE)
         self.coordinator.ecall(
-            "setup", attestation_service, SHARD_CODE.measurement
+            "setup", attestation_service, SHARD_CODE.measurement,
+            telemetry_key,
         )
         self.shards = []
         self._retired = []
@@ -989,6 +1113,7 @@ class ShardedScbrRouter:
         enclave.ecall(
             "setup", shard_id, self.record_bytes,
             self.attestation_service, COORD_CODE.measurement,
+            self.telemetry_key,
         )
         # Mutually attested join: the host only relays public DH
         # values, quotes, and the wrapped key.
@@ -1021,6 +1146,7 @@ class ShardedScbrRouter:
         shard.snapshot_version = version
         shard.log = []
         self.snapshots_taken += 1
+        self._tel_snapshots.inc()
         return version
 
     def _log_mutation(self, shard, entry):
@@ -1052,6 +1178,7 @@ class ShardedScbrRouter:
         shard.failed_at = self.env.now if self.env is not None else None
         shard.enclave.destroy()
         self.shard_failures += 1
+        self._tel_failures.inc()
         if self.monitor is not None:
             self.monitor.record_onset(shard_id, shard.failed_at)
         return True
@@ -1109,6 +1236,13 @@ class ShardedScbrRouter:
             coordinator_clock.now - coordinator_start
         )
         recovery_seconds = cycles_to_seconds(recovery_cycles)
+        self._tel_recoveries.inc()
+        self._tel_recovery_cycles.observe(recovery_cycles)
+        self.tracer.record(
+            "scbr.recover", coordinator_start,
+            coordinator_start + recovery_cycles,
+            shard=shard_id, restored=restored, replayed=replayed,
+        )
         episode = {
             "shard_id": shard_id,
             "onset": old.failed_at,
@@ -1223,6 +1357,7 @@ class ShardedScbrRouter:
         shard.database_bytes += self.record_bytes
         self._home[subscription_id] = shard
         self._log_mutation(shard, ("insert", blob))
+        self._tel_subscribes.inc()
         return subscription_id
 
     def _live_shards(self):
@@ -1257,6 +1392,7 @@ class ShardedScbrRouter:
             self._home[subscription_id] = fresh
         self.splits += 1
         self.migrated += len(moved_ids)
+        self._tel_splits.inc()
         self._snapshot(shard)
         self._snapshot(fresh)
         return fresh
@@ -1280,6 +1416,7 @@ class ShardedScbrRouter:
         shard.database_bytes -= self.record_bytes
         del self._home[subscription_id]
         self._log_mutation(shard, ("remove", subscription_id, client_id))
+        self._tel_unsubscribes.inc()
         return True
 
     # -- publication plane ---------------------------------------------
@@ -1294,12 +1431,22 @@ class ShardedScbrRouter:
         """
         clock = self.platform.clock
         coordinator_start = clock.now
-        token, sealed = self.coordinator.ecall("ingest", envelope)
+        # The publish root span's duration is *computed* (coordinator
+        # cycles plus the slowest shard's cycles -- exactly
+        # last_publish_cycles), so reserve its identity now, let the
+        # in-enclave spans parent under it across the ECALL boundary,
+        # and record it once the latency is known.
+        reservation = self.tracer.reserve() if self.tracer.enabled else None
+        token, sealed = self.coordinator.ecall(
+            "ingest", envelope, trace=reservation
+        )
 
         def match_on(shard):
             start = shard.platform.clock.now
             try:
-                blob, visits = shard.enclave.ecall("match", sealed)
+                blob, visits = shard.enclave.ecall(
+                    "match", sealed, trace=reservation
+                )
             except EnclaveLostError:
                 return None, 0, shard.platform.clock.now - start
             return blob, visits, shard.platform.clock.now - start
@@ -1310,16 +1457,33 @@ class ShardedScbrRouter:
             with ThreadPoolExecutor(max_workers=len(self.shards)) as pool:
                 results = list(pool.map(match_on, self.shards))
         slowest = max(elapsed for _b, _v, elapsed in results)
+        # Observed from this (single) driver thread after the pool
+        # joined: per-shard match latencies plus the coverage wait --
+        # how long this publication stayed parked in the coordinator
+        # waiting for its slowest partition.
+        for _blob, _visits, elapsed in results:
+            self._tel_shard_match.observe(elapsed)
+        self._tel_coverage_wait.observe(slowest)
         self.last_visits = sum(visits for _b, visits, _e in results)
+        self._tel_visits.inc(self.last_visits)
         routed, missing = self.coordinator.ecall(
             "finalize", token,
             [blob for blob, _v, _e in results if blob is not None],
+            trace=reservation,
         )
         self.last_publish_cycles = (
             clock.now - coordinator_start
         ) + slowest
         self.publish_cycles += self.last_publish_cycles
         self.publications_routed += 1
+        self._tel_publications.inc()
+        self._tel_publish_cycles.observe(self.last_publish_cycles)
+        if reservation is not None:
+            self.tracer.record_reserved(
+                reservation, "scbr.publish", coordinator_start,
+                coordinator_start + self.last_publish_cycles,
+                shards=len(self.shards), missing=len(missing),
+            )
         return routed, tuple(missing)
 
     def publish_routed(self, envelope):
@@ -1337,6 +1501,7 @@ class ShardedScbrRouter:
         if not missing:
             return routed
         self.partial_publishes += 1
+        self._tel_partial.inc()
         if self.on_partial == "report":
             return PartialCoverage(routed=routed, missing=missing)
 
@@ -1366,6 +1531,33 @@ class ShardedScbrRouter:
         return [notification for _subscriber, notification in routed]
 
     # -- observability -------------------------------------------------
+
+    def export_telemetry(self):
+        """Sealed telemetry blobs from every plane enclave, as
+        ``(source, blob)`` pairs.
+
+        The driver cannot open them -- they are AEAD-sealed under the
+        telemetry key provisioned at setup; the operator holding that
+        key opens them with :func:`repro.telemetry.open_snapshot`.
+        Enclaves running without a telemetry key contribute nothing,
+        and a dark shard is skipped: its telemetry died with its
+        enclave state, exactly like the partition it described.
+        """
+        blobs = []
+        try:
+            blob = self.coordinator.ecall("telemetry_export")
+        except EnclaveLostError:
+            blob = None
+        if blob is not None:
+            blobs.append(("coordinator", blob))
+        for shard in self.shards:
+            try:
+                blob = shard.enclave.ecall("telemetry_export")
+            except EnclaveLostError:
+                continue
+            if blob is not None:
+                blobs.append(("shard-%d" % shard.shard_id, blob))
+        return blobs
 
     def stats(self):
         """Aggregated plane counters (one stats ecall per live shard).

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigurationError, IntegrityError
 from repro.crypto.aead import AeadKey, Ciphertext
 from repro.crypto.primitives import sha256
+from repro.telemetry import default_registry
 
 DEFAULT_CHUNK_SIZE = 4096
 
@@ -229,6 +230,11 @@ class ProtectedVolume:
         # per-file keys are stable, so pay that once per file, not per
         # chunk operation.
         self._key_cache = {}
+        registry = default_registry()
+        self._tel_chunk_reads = registry.counter("scone.fs.chunk_reads")
+        self._tel_chunk_writes = registry.counter("scone.fs.chunk_writes")
+        self._tel_bytes_read = registry.counter("scone.fs.bytes_read")
+        self._tel_bytes_written = registry.counter("scone.fs.bytes_written")
 
     def _charge(self, nbytes):
         if self.memory is not None:
@@ -313,6 +319,8 @@ class ProtectedVolume:
         entry.size = max(entry.size, end)
 
     def _write_chunk(self, path, entry, key, index, plaintext):
+        self._tel_chunk_writes.inc()
+        self._tel_bytes_written.inc(len(plaintext))
         self._charge(len(plaintext))
         aad = self._chunk_aad(path, index)
         ciphertext = key.encrypt(plaintext, aad=aad)
@@ -329,6 +337,8 @@ class ProtectedVolume:
         nonce, body = blob[:16], blob[16:]
         ciphertext = Ciphertext(nonce=nonce, body=body, tag=entry.chunk_tags[index])
         aad = self._chunk_aad(path, index)
+        self._tel_chunk_reads.inc()
+        self._tel_bytes_read.inc(len(body))
         self._charge(len(body))
         try:
             return key.decrypt(ciphertext, aad=aad)

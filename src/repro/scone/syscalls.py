@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import ConfigurationError, IntegrityError
+from repro.telemetry import default_registry
 
 # Cycles a worker needs to execute each syscall in the host kernel.
 SYSCALL_DURATIONS = {
@@ -187,6 +188,13 @@ class SyscallShield:
     def __init__(self, memory=None):
         self.memory = memory
         self.rejected = 0
+        self._tel_rejected = default_registry().counter(
+            "scone.shield.rejections"
+        )
+
+    def _reject(self):
+        self.rejected += 1
+        self._tel_rejected.inc()
 
     def _charge_copy(self, nbytes):
         if self.memory is not None and nbytes:
@@ -201,7 +209,7 @@ class SyscallShield:
         if request.name in ("read", "recv"):
             requested = request.args[1]
             if not isinstance(result, bytes) or len(result) > requested:
-                self.rejected += 1
+                self._reject()
                 raise IntegrityError(
                     "kernel returned %s bytes for a %d-byte %s"
                     % (
@@ -216,14 +224,14 @@ class SyscallShield:
             payload = request.args[1] if request.name == "write" else request.args[2]
             written = len(payload)
             if not isinstance(result, int) or not 0 <= result <= written:
-                self.rejected += 1
+                self._reject()
                 raise IntegrityError(
                     "kernel claims %r bytes written of %d" % (result, written)
                 )
             return result
         if request.name in ("open", "socket"):
             if not isinstance(result, int) or result < 0:
-                self.rejected += 1
+                self._reject()
                 raise IntegrityError("kernel returned invalid descriptor %r" % result)
             return result
         if request.name == "stat":
@@ -232,7 +240,7 @@ class SyscallShield:
                 or not isinstance(result.get("size"), int)
                 or result["size"] < 0
             ):
-                self.rejected += 1
+                self._reject()
                 raise IntegrityError("kernel returned invalid stat %r" % result)
             return dict(result)
         if isinstance(result, bytes):
@@ -250,6 +258,9 @@ class SyncSyscallExecutor:
         self.costs = costs
         self.shield = shield or SyscallShield()
         self.calls = 0
+        self._tel_calls = default_registry().counter(
+            "scone.syscalls", mode="sync"
+        )
 
     def call(self, name, *args):
         """Execute a syscall synchronously; blocks the enclave thread."""
@@ -259,6 +270,7 @@ class SyncSyscallExecutor:
         self.clock.charge(request.duration_cycles)
         self.clock.charge(self.costs.transition_cycles)  # EENTER
         self.calls += 1
+        self._tel_calls.inc()
         return self.shield.validate(request, result)
 
 
@@ -295,11 +307,24 @@ class AsyncSyscallExecutor:
         self.shield = shield or SyscallShield()
         self._worker_busy_until = [0] * workers
         self.calls = 0
+        registry = default_registry()
+        self._tel_calls = registry.counter("scone.syscalls", mode="async")
+        # Queue depth at submit time: how many workers are still busy
+        # when a new call arrives.  Virtual-clock-derived, so the
+        # distribution is identical across same-seed runs.
+        self._tel_depth = registry.histogram(
+            "scone.syscall_queue_depth",
+            buckets=(0, 1, 2, 4, 8, 16, 32, 64),
+        )
 
     def submit(self, name, *args):
         """Queue a syscall; returns a :class:`PendingSyscall`."""
         request = SyscallRequest(name, args)
         self.clock.charge(QUEUE_SUBMIT_CYCLES)
+        now = self.clock.now
+        self._tel_depth.observe(
+            sum(1 for busy in self._worker_busy_until if busy > now)
+        )
         worker = min(range(len(self._worker_busy_until)),
                      key=self._worker_busy_until.__getitem__)
         start = max(self.clock.now, self._worker_busy_until[worker])
@@ -309,6 +334,7 @@ class AsyncSyscallExecutor:
         # is captured by completion_time.
         result = self.kernel.execute(request)
         self.calls += 1
+        self._tel_calls.inc()
         return PendingSyscall(request=request, completion_time=completion,
                               result=result)
 

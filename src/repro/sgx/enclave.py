@@ -19,6 +19,7 @@ import itertools
 from repro.errors import EnclaveError, EnclaveLostError
 from repro.crypto.primitives import sha256, sha256_hex
 from repro.sgx.memory import SimulatedMemory
+from repro.telemetry import default_registry
 
 _enclave_ids = itertools.count(1)
 
@@ -116,6 +117,8 @@ class EnclaveContext:
     def ocall(self, function, *args, **kwargs):
         """Leave the enclave to run untrusted ``function``, then re-enter."""
         costs = self._enclave.platform.costs
+        self._enclave._tel_ocalls.inc()
+        self._enclave._tel_transitions.inc(2)
         self.clock.charge(costs.transition_cycles)
         try:
             return function(*args, **kwargs)
@@ -154,6 +157,14 @@ class Enclave:
         self._state = {}
         self._destroyed = False
         self._ecall_count = 0
+        # Telemetry handles resolve once here; with the default no-op
+        # registry the per-ecall cost is one no-op call per instrument.
+        registry = default_registry()
+        self._tel_ecalls = registry.counter("sgx.ecalls", enclave=self.name)
+        self._tel_transitions = registry.counter(
+            "sgx.transitions", enclave=self.name
+        )
+        self._tel_ocalls = registry.counter("sgx.ocalls", enclave=self.name)
 
     @property
     def measurement(self):
@@ -182,6 +193,8 @@ class Enclave:
             )
         self.platform.clock.charge(self.platform.costs.transition_cycles)
         self._ecall_count += 1
+        self._tel_ecalls.inc()
+        self._tel_transitions.inc(2)
         context = EnclaveContext(self)
         try:
             return function(context, *args, **kwargs)

@@ -10,6 +10,7 @@ from repro.sgx.enclave import Enclave
 from repro.sgx.memory import EpcModel, LlcModel, SimulatedMemory
 from repro.sgx.sealing import SealingPolicy, seal as _seal, unseal as _unseal
 from repro.sim.clock import CycleClock
+from repro.telemetry import default_registry
 
 _platform_ids = itertools.count(1)
 
@@ -40,6 +41,20 @@ class SgxPlatform:
             self.platform_id, random_source=random_source, key_bits=quoting_key_bits
         )
         self._enclaves = []
+        # EPC paging telemetry: sampled at snapshot time (gauge_fn), so
+        # the per-access hot path in SimulatedMemory stays untouched.
+        # Labelled by a per-registry ordinal, not platform_id -- the
+        # global platform counter differs between two same-seed runs in
+        # one process, and snapshots must stay byte-identical.
+        registry = default_registry()
+        ordinal = registry.next_index("sgx.platform")
+        epc = self.epc
+        registry.gauge_fn("sgx.epc.faults", lambda: epc.faults,
+                          platform=ordinal)
+        registry.gauge_fn("sgx.epc.loads", lambda: epc.loads,
+                          platform=ordinal)
+        registry.gauge_fn("sgx.epc.resident_pages",
+                          lambda: epc.resident_pages, platform=ordinal)
 
     @property
     def enclaves(self):

@@ -1,0 +1,70 @@
+"""Enclave-aware telemetry: metrics, tracing, sealed snapshots.
+
+Three pieces:
+
+- :mod:`repro.telemetry.registry` -- the virtual-clock-native metrics
+  registry (counters, gauges, deterministic-bucket histograms) with a
+  no-op default, so instrumentation is zero-cost until enabled;
+- :mod:`repro.telemetry.tracing` -- span recorders with context
+  propagation across enclave boundaries, plus span-tree/flame-view
+  reconstruction;
+- :mod:`repro.telemetry.sealed` -- AEAD-sealed snapshot export for
+  telemetry recorded *inside* enclaves, so in-enclave timings reach
+  only the operator holding the telemetry key.
+"""
+
+from repro.telemetry.registry import (
+    Counter,
+    DEFAULT_CYCLE_BUCKETS,
+    DEFAULT_SECONDS_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    default_registry,
+    enabled,
+    exponential_buckets,
+    set_default_registry,
+)
+from repro.telemetry.tracing import (
+    NULL_RECORDER,
+    NullRecorder,
+    Span,
+    SpanRecorder,
+    build_span_tree,
+    render_flame,
+)
+from repro.telemetry.sealed import (
+    EnclaveTelemetry,
+    TELEMETRY_AAD,
+    open_snapshot,
+    seal_snapshot,
+    spans_from_snapshot,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_CYCLE_BUCKETS",
+    "DEFAULT_SECONDS_BUCKETS",
+    "EnclaveTelemetry",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NULL_REGISTRY",
+    "NullRecorder",
+    "NullRegistry",
+    "Span",
+    "SpanRecorder",
+    "TELEMETRY_AAD",
+    "build_span_tree",
+    "default_registry",
+    "enabled",
+    "exponential_buckets",
+    "open_snapshot",
+    "render_flame",
+    "seal_snapshot",
+    "set_default_registry",
+    "spans_from_snapshot",
+]

@@ -1,0 +1,294 @@
+"""Span-based tracing across enclave boundaries.
+
+A :class:`SpanRecorder` buffers :class:`Span` records for one *clock
+domain* -- the host driver, the coordinator enclave, one shard enclave.
+Each domain has its own virtual clock, so spans carry the domain name
+next to their start/end cycle stamps and are never compared across
+domains by raw timestamps; the tree is joined by *context*, not time.
+
+Context propagation: a span's identity is ``(trace_id, span_id)``.
+Crossing an enclave boundary, the caller passes that pair as an
+ordinary ECALL argument; the enclave-side recorder parents its spans
+under it.  Span and trace ids are small per-recorder counters --
+deterministic across same-seed runs, unlike random ids.
+
+The trust boundary: a recorder living *inside* an enclave is part of
+the enclave's state; its spans leave only through
+:mod:`repro.telemetry.sealed` (AEAD under the telemetry key), so the
+untrusted host relays opaque blobs and plaintext timings of in-enclave
+work are visible only to the operator holding the key.  Host-side
+recorders (driver loops, benchmark harnesses) hold plaintext spans --
+they time work the host could observe anyway.
+"""
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Span:
+    """One timed operation in one clock domain."""
+
+    name: str
+    span_id: str
+    trace_id: str
+    parent_id: Optional[str]
+    domain: str
+    start: int
+    end: int
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self):
+        return self.end - self.start
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "domain": self.domain,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, raw):
+        return cls(
+            name=raw["name"],
+            span_id=raw["span_id"],
+            trace_id=raw["trace_id"],
+            parent_id=raw.get("parent_id"),
+            domain=raw["domain"],
+            start=raw["start"],
+            end=raw["end"],
+            attrs=dict(raw.get("attrs", {})),
+        )
+
+
+class SpanRecorder:
+    """Buffers spans for one clock domain.
+
+    Not thread-safe by design: a recorder belongs to one domain (one
+    enclave, or the single driver thread), and the sharded plane's
+    worker threads each talk to their *own* shard's recorder.  Ids are
+    sequential, so two same-seed runs emit identical span tables.
+    """
+
+    enabled = True
+
+    def __init__(self, domain):
+        self.domain = domain
+        self.spans = []
+        self._next_span = 0
+        self._next_trace = 0
+        self._stack = []
+
+    def _span_id(self):
+        span_id = "%s:%d" % (self.domain, self._next_span)
+        self._next_span += 1
+        return span_id
+
+    def new_trace(self):
+        """Mint a trace id; the root caller owns it."""
+        trace_id = "%s/t%d" % (self.domain, self._next_trace)
+        self._next_trace += 1
+        return trace_id
+
+    def _parentage(self, trace):
+        if trace is not None:
+            return trace[0], trace[1]
+        if self._stack:
+            parent = self._stack[-1]
+            return parent.trace_id, parent.span_id
+        return self.new_trace(), None
+
+    @contextmanager
+    def span(self, name, clock, trace=None, **attrs):
+        """Record a span around the block; yields it for attrs.
+
+        ``clock`` supplies virtual time (``.now``); ``trace`` is an
+        optional ``(trace_id, parent_span_id)`` pair from across a
+        boundary.  Nested ``span`` calls on the same recorder parent
+        implicitly.
+        """
+        trace_id, parent_id = self._parentage(trace)
+        record = Span(
+            name=name,
+            span_id=self._span_id(),
+            trace_id=trace_id,
+            parent_id=parent_id,
+            domain=self.domain,
+            start=clock.now,
+            end=clock.now,
+            attrs=dict(attrs),
+        )
+        self._stack.append(record)
+        try:
+            yield record
+        finally:
+            self._stack.pop()
+            record.end = clock.now
+            self.spans.append(record)
+
+    def record(self, name, start, end, trace=None, parent_id=None,
+               **attrs):
+        """Record a completed span with explicit timestamps.
+
+        For spans whose duration is *computed* rather than measured in
+        one place -- e.g. the sharded plane's publish latency, which is
+        coordinator cycles plus the slowest shard's cycles.  With
+        ``trace`` the span joins that trace under ``parent_id``
+        (``trace[1]`` when omitted); without it, it roots a new trace.
+        """
+        if trace is not None:
+            trace_id = trace[0]
+            parent_id = parent_id if parent_id is not None else trace[1]
+        else:
+            trace_id = self.new_trace()
+        record = Span(
+            name=name,
+            span_id=self._span_id(),
+            trace_id=trace_id,
+            parent_id=parent_id,
+            domain=self.domain,
+            start=start,
+            end=end,
+            attrs=dict(attrs),
+        )
+        self.spans.append(record)
+        return record
+
+    def reserve(self):
+        """Pre-allocate ``(trace_id, span_id)`` for a root span whose
+        duration is only known after its children ran; finish it with
+        :meth:`record_reserved`.  The pair doubles as the ``trace``
+        argument child spans parent under.
+        """
+        return self.new_trace(), self._span_id()
+
+    def record_reserved(self, reservation, name, start, end, **attrs):
+        """Record the root span for a :meth:`reserve` reservation."""
+        trace_id, span_id = reservation
+        record = Span(
+            name=name,
+            span_id=span_id,
+            trace_id=trace_id,
+            parent_id=None,
+            domain=self.domain,
+            start=start,
+            end=end,
+            attrs=dict(attrs),
+        )
+        self.spans.append(record)
+        return record
+
+    def export(self):
+        """Spans as plain dicts (what the sealed snapshot carries)."""
+        return [span.to_dict() for span in self.spans]
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    @property
+    def attrs(self):
+        # A fresh throwaway dict per access: callers may write
+        # ``span.attrs["k"] = v`` without mutating shared state.
+        return {}
+
+    def __setattr__(self, name, value):
+        pass
+
+
+class NullRecorder:
+    """Disabled tracing: every operation is a no-op."""
+
+    enabled = False
+    spans = ()
+    domain = "null"
+
+    _SPAN = _NullSpan()
+
+    @contextmanager
+    def span(self, name, clock, trace=None, **attrs):
+        yield self._SPAN
+
+    def new_trace(self):
+        return "null/t0"
+
+    def record(self, name, start, end, trace=None, parent_id=None,
+               **attrs):
+        return self._SPAN
+
+    def reserve(self):
+        return "null/t0", "null:0"
+
+    def record_reserved(self, reservation, name, start, end, **attrs):
+        return self._SPAN
+
+    def export(self):
+        return []
+
+
+NULL_RECORDER = NullRecorder()
+
+
+def build_span_tree(spans, trace_id=None):
+    """Join spans (possibly from several domains) into parent trees.
+
+    Returns the list of root ``(span, children)`` nodes -- children are
+    nested ``(span, children)`` pairs ordered by start stamp then id,
+    so the shape is deterministic.  ``trace_id`` filters to one trace.
+    """
+    if trace_id is not None:
+        spans = [span for span in spans if span.trace_id == trace_id]
+    spans = sorted(spans, key=lambda s: (s.start, s.span_id))
+    by_parent = {}
+    ids = {span.span_id for span in spans}
+    roots = []
+    for span in spans:
+        if span.parent_id is not None and span.parent_id in ids:
+            by_parent.setdefault(span.parent_id, []).append(span)
+        else:
+            roots.append(span)
+
+    def attach(span):
+        return (span, [attach(child)
+                       for child in by_parent.get(span.span_id, [])])
+
+    return [attach(root) for root in roots]
+
+
+def render_flame(tree, frequency_hz=2_600_000_000.0):
+    """Indented text flame view of a span tree.
+
+    Cycle stamps convert to virtual milliseconds at ``frequency_hz``;
+    each line shows the span's own domain, so cross-domain children
+    read as "measured on that enclave's clock".
+    """
+    lines = []
+
+    def walk(node, depth):
+        span, children = node
+        cycles = span.duration
+        detail = " ".join(
+            "%s=%s" % (key, span.attrs[key]) for key in sorted(span.attrs)
+        )
+        lines.append("%s%-24s %10d cyc  %8.4f ms  [%s]%s" % (
+            "  " * depth,
+            span.name,
+            cycles,
+            cycles / frequency_hz * 1e3,
+            span.domain,
+            ("  " + detail) if detail else "",
+        ))
+        for child in children:
+            walk(child, depth + 1)
+
+    for root in tree:
+        walk(root, 0)
+    return "\n".join(lines)

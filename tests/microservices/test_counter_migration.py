@@ -1,0 +1,112 @@
+"""Regression tests for the QoS/orchestrator counter migration.
+
+The ad-hoc counters (``orchestrator.reactions``, the detection and
+recovery-episode lists, ``ServiceMetrics.events_handled``) moved onto
+the metrics registry as *mirrors*: the functional attributes remain the
+source of truth the billing report, benchmarks, and reactions read, and
+an enabled registry must agree with them exactly.  Anomaly and recovery
+episode counts must be identical whether telemetry is on or off.
+"""
+
+from repro.crypto.aead import AeadKey
+from repro.microservices.eventbus import EventBus, SealedEvent
+from repro.microservices.orchestrator import Orchestrator
+from repro.microservices.qos import QosMonitor
+from repro.microservices.registry import ServiceRegistry
+from repro.microservices.service import MicroService
+from repro.sgx.platform import SgxPlatform
+from repro.sim.events import Environment
+from repro import telemetry
+
+
+def _sink(ctx, topic, plaintext):
+    return []
+
+
+def _anomaly_scenario():
+    """A latency anomaly plus a reported recovery episode; returns the
+    functional counts every consumer reads."""
+    env = Environment()
+    bus = EventBus(env, latency=0.0001)
+    platform = SgxPlatform(seed=43, quoting_key_bits=512)
+    keys = {"in": AeadKey(b"\x01" * 32)}
+    monitor = QosMonitor(env)
+    registry = ServiceRegistry()
+    service = MicroService("svc", platform, bus, {"in": _sink}, keys,
+                           processing_time=0.001)
+    monitor.attach(service)
+    registry.register(service)
+    orchestrator = Orchestrator(env, monitor, registry)
+    orchestrator.start(duration=0.5)
+    for index in range(20):
+        def publish(_fired, i=index):
+            sequence = bus.next_sequence("in")
+            bus.publish(SealedEvent.seal(
+                keys["in"], "in", "gen", sequence, b"%d" % i
+            ))
+        env.timeout(index * 0.002).callbacks.append(publish)
+
+    def inject(_fired):
+        service.slowdown = 20.0
+        orchestrator.record_onset("svc")
+
+    env.timeout(0.010).callbacks.append(inject)
+    env.run()
+    orchestrator.report_recovery("svc", "latency", recovery_seconds=0.004)
+    return monitor, orchestrator
+
+
+class TestCounterMigration:
+    def test_functional_counts_survive_with_telemetry_off(self):
+        monitor, orchestrator = _anomaly_scenario()
+        assert telemetry.default_registry() is telemetry.NULL_REGISTRY
+        assert len(orchestrator.detections) >= 1
+        assert orchestrator.reactions >= 1
+        assert len(orchestrator.recoveries) == 1
+        assert monitor.of("svc").events_handled == 20
+
+    def test_episode_counts_identical_on_and_off(self):
+        """The migration must not change behaviour: same scenario, same
+        anomaly/recovery episode counts either way."""
+        monitor_off, orchestrator_off = _anomaly_scenario()
+        with telemetry.enabled():
+            monitor_on, orchestrator_on = _anomaly_scenario()
+        assert (len(orchestrator_on.detections)
+                == len(orchestrator_off.detections))
+        assert ([d.kind for d in orchestrator_on.detections]
+                == [d.kind for d in orchestrator_off.detections])
+        assert orchestrator_on.reactions == orchestrator_off.reactions
+        assert (len(orchestrator_on.recoveries)
+                == len(orchestrator_off.recoveries))
+        assert (monitor_on.of("svc").events_handled
+                == monitor_off.of("svc").events_handled)
+
+    def test_registry_mirrors_functional_counters(self):
+        with telemetry.enabled() as registry:
+            monitor, orchestrator = _anomaly_scenario()
+        counters = registry.snapshot()["counters"]
+        assert (counters["orchestrator.reactions"]
+                == orchestrator.reactions)
+        assert (counters["orchestrator.recovery_episodes"]
+                == len(orchestrator.recoveries))
+        detections = sum(
+            value for name, value in counters.items()
+            if name.startswith("orchestrator.detections")
+        )
+        assert detections == len(orchestrator.detections)
+        assert (counters["qos.events_handled{service=svc}"]
+                == monitor.of("svc").events_handled)
+        histograms = registry.snapshot()["histograms"]
+        recovery = histograms["orchestrator.recovery_seconds"]
+        assert recovery["count"] == len(orchestrator.recoveries)
+        latency = histograms["qos.handling_latency_seconds"]
+        assert latency["count"] == monitor.of("svc").events_handled
+
+    def test_billing_unchanged_by_telemetry(self):
+        monitor_off, _ = _anomaly_scenario()
+        with telemetry.enabled():
+            monitor_on, _ = _anomaly_scenario()
+        off = monitor_off.billing_report(cpu_second_price=100.0)
+        on = monitor_on.billing_report(cpu_second_price=100.0)
+        assert on.lines == off.lines
+        assert on.total == off.total

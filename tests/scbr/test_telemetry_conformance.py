@@ -1,0 +1,142 @@
+"""Randomised churn conformance with telemetry-backed accounting.
+
+Interleaves subscribe / unsubscribe / *publish* (not publish-at-the-end
+like the recovery churn tests) with seeded shard kills, and checks two
+things at once against the single-index oracle:
+
+- every publication's delivered match set equals the oracle's for the
+  subscription set live *at that moment*, despite shards dying and
+  healing mid-stream;
+- the plane's coverage-wait histogram recorded exactly one observation
+  per coverage-tracked fan-out -- every publication that parked in the
+  coordinator waiting for its slowest partition is accounted for,
+  including the re-matches a healed shard triggers.
+"""
+
+import random
+
+import pytest
+
+from repro import telemetry
+from repro.scbr.filters import Publication, Subscription
+from repro.scbr.messages import EncryptedEnvelope, serialize_publication
+from repro.scbr.router import ScbrClient
+from repro.scbr.sharding import ShardedScbrRouter
+from repro.scbr.workload import ScbrWorkload
+from repro.sgx.attestation import AttestationService
+from repro.sgx.platform import SgxPlatform
+
+from tests.scbr.oracle import oracle_match_sets
+
+
+def _make_plane(seed, shards=3, **kwargs):
+    platform = SgxPlatform(seed=seed, quoting_key_bits=512)
+    attestation = AttestationService()
+    attestation.register_platform(
+        platform.platform_id, platform.quoting_enclave.public_key
+    )
+    router = ShardedScbrRouter(
+        platform,
+        lambda i: SgxPlatform(seed=100 * seed + i, quoting_key_bits=512),
+        attestation_service=attestation,
+        shards=shards,
+        **kwargs,
+    )
+    attestation.trust_measurement(router.measurement)
+    return router, attestation
+
+
+def _matched_ids(alice, routed):
+    matched = []
+    for _subscriber, envelope in routed:
+        _pub, ids = alice.open_notification_detail(envelope)
+        matched.extend(ids)
+    return sorted(matched)
+
+
+def _interleaved_churn(seed, steps=36, kills=3):
+    """Subscribe/unsubscribe/publish interleaved, with shard kills.
+
+    Runs inside an enabled registry so the plane's host-side
+    instruments are live.  Returns (deliveries, oracle expectations,
+    router, registry).
+    """
+    rng = random.Random(seed)
+    with telemetry.enabled() as registry:
+        router, attestation = _make_plane(seed=61 + seed % 7, shards=3)
+        alice = ScbrClient("alice", router, attestation)
+        publisher = ScbrClient("publisher", router, attestation)
+        workload = ScbrWorkload(seed=seed, num_attributes=6,
+                                containment_fraction=0.5,
+                                num_subscribers=1)
+        subscriptions = iter(workload.subscriptions(steps))
+        publications = iter(workload.publications(steps))
+        kill_steps = set(rng.sample(range(steps), kills))
+        live = {}
+        deliveries, expected = [], []
+        for step in range(steps):
+            action = rng.random()
+            if action < 0.55 or not live:
+                subscription = next(subscriptions)
+                subscription = Subscription(
+                    subscription.subscription_id,
+                    list(subscription.constraints.values()),
+                    "alice",
+                )
+                alice.subscribe(subscription)
+                live[subscription.subscription_id] = subscription
+            elif action < 0.70 and len(live) > 1:
+                victim = rng.choice(sorted(live))
+                alice.unsubscribe(victim)
+                del live[victim]
+            else:
+                publication = next(publications)
+                routed = router.publish_routed(EncryptedEnvelope.seal(
+                    publisher.key, publisher.client_id, "publish",
+                    serialize_publication(
+                        Publication(publication.attributes)
+                    ),
+                ))
+                deliveries.append(_matched_ids(alice, routed))
+                expected.append(oracle_match_sets(
+                    list(live.values()), [publication]
+                )[0])
+            if step in kill_steps:
+                victims = [shard for shard in router.shards
+                           if not shard.enclave.destroyed]
+                if victims:
+                    router.fail_shard(rng.choice(victims).shard_id)
+        router.check_invariants()
+    return deliveries, expected, router, registry
+
+
+class TestInterleavedChurnConformance:
+    @pytest.mark.parametrize("seed", [2, 11, 29])
+    def test_match_sets_equal_oracle_at_each_step(self, seed):
+        deliveries, expected, router, _registry = _interleaved_churn(seed)
+        assert deliveries == expected
+        assert len(deliveries) > 0
+        assert router.shard_failures >= 3
+
+    @pytest.mark.parametrize("seed", [2, 11])
+    def test_coverage_wait_histogram_counts_every_fanout(self, seed):
+        """One parked-publication observation per coverage-tracked
+        fan-out: retries after a dead shard re-observe, so the count is
+        the plane's own publications_routed, and publications are never
+        silently missing from the latency record."""
+        _deliveries, _expected, router, registry = _interleaved_churn(seed)
+        histograms = registry.snapshot()["histograms"]
+        coverage = histograms["scbr.coverage_wait_cycles"]
+        assert coverage["count"] == router.publications_routed
+        assert coverage["count"] > 0
+        publish = histograms["scbr.publish_cycles"]
+        assert publish["count"] == router.publications_routed
+        # Dead shards forced at least one healing re-match, so the
+        # fan-out count exceeds the number of client publish calls.
+        counters = registry.snapshot()["counters"]
+        assert counters["scbr.shard_failures"] >= 3
+
+    def test_same_seed_same_telemetry(self):
+        *_x, registry_a = _interleaved_churn(11)
+        *_y, registry_b = _interleaved_churn(11)
+        assert registry_a.to_json() == registry_b.to_json()

@@ -1,0 +1,10 @@
+"""A stub benchmark module for CLI telemetry tests (not a benchmark)."""
+
+from benchmarks._harness import report
+from repro.telemetry import default_registry
+
+
+def run_fake(smoke=False):
+    default_registry().counter("fake.runs").inc()
+    report("zz_fake_probe", "probe table", ("col",), [(1,)])
+    return [(1,)]

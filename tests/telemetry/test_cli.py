@@ -1,0 +1,59 @@
+"""Tests for the ``repro.cli metrics`` / ``repro.cli trace`` commands."""
+
+from repro import cli, telemetry
+from repro.cli import main
+
+
+class TestTraceCommand:
+    def test_trace_reconstructs_cross_enclave_tree(self, capsys):
+        """The acceptance path: sealed snapshots from every enclave
+        open under the operator key, join the driver's spans into one
+        tree, and the root's duration equals the plane's reported
+        publish latency within histogram-bucket resolution."""
+        assert main(["trace"]) == 0
+        output = capsys.readouterr().out
+        assert "trace ok" in output
+        # The flame view spans every domain of the publish path.
+        for name in ("scbr.publish", "coord.ingest", "shard.match",
+                     "coord.finalize"):
+            assert name in output
+        assert "[driver]" in output
+        assert "[coord]" in output
+        assert "[shard-0]" in output
+        # The host relayed sealed blobs for the coordinator and shards.
+        assert "sealed snapshot coordinator" in output
+        assert "sealed snapshot shard-0" in output
+
+    def test_trace_leaves_telemetry_disabled(self):
+        assert cli.run_trace(seed=9) == 0
+        assert telemetry.default_registry() is telemetry.NULL_REGISTRY
+
+
+class TestMetricsCommand:
+    def test_run_metrics_dumps_snapshot_and_sidecars(
+            self, capsys, monkeypatch, tmp_path):
+        from benchmarks import _harness
+
+        monkeypatch.setattr(_harness, "_OUT_DIR", str(tmp_path))
+        monkeypatch.setitem(
+            cli.EXPERIMENTS, "zz",
+            ("tests.telemetry._fake_bench", "run_fake", "stub probe"),
+        )
+        assert cli.run_metrics("zz") == 0
+        output = capsys.readouterr().out
+        assert '"fake.runs": 1' in output
+        # report() wrote its sidecar because the registry was live...
+        assert (tmp_path / "zz_fake_probe.telemetry.json").exists()
+        # ...and the CLI wrote one under the module's artifact name.
+        assert (tmp_path / "_fake_bench.telemetry.json").exists()
+        assert telemetry.default_registry() is telemetry.NULL_REGISTRY
+
+    def test_report_writes_no_sidecar_when_disabled(
+            self, capsys, monkeypatch, tmp_path):
+        from benchmarks import _harness
+
+        monkeypatch.setattr(_harness, "_OUT_DIR", str(tmp_path))
+        _harness.report("zz_off", "probe", ("col",), [(1,)])
+        capsys.readouterr()
+        assert (tmp_path / "zz_off.json").exists()
+        assert not (tmp_path / "zz_off.telemetry.json").exists()

@@ -1,0 +1,103 @@
+"""Instrumented subsystems record into an enabled registry -- and cost
+nothing (shared no-op handles) when telemetry is off, the default."""
+
+from repro.scone.syscalls import (
+    AsyncSyscallExecutor,
+    SimulatedKernel,
+    SyncSyscallExecutor,
+)
+from repro.sgx.costs import DEFAULT_COSTS
+from repro.sgx.enclave import EnclaveCode
+from repro.sgx.platform import SgxPlatform
+from repro.sim.clock import CycleClock
+from repro.telemetry import NULL_REGISTRY, enabled
+
+
+def _echo(ctx, value):
+    return value
+
+
+def _call_out(ctx, fn):
+    return ctx.ocall(fn)
+
+
+CODE = EnclaveCode("svc", {"echo": _echo, "call_out": _call_out})
+
+
+class TestSgxInstrumentation:
+    def test_transitions_counted_when_enabled(self):
+        with enabled() as registry:
+            platform = SgxPlatform(seed=3, quoting_key_bits=512)
+            enclave = platform.load_enclave(CODE)
+            enclave.ecall("echo", 1)
+            enclave.ecall("call_out", lambda: None)
+        counters = registry.snapshot()["counters"]
+        assert counters["sgx.ecalls{enclave=svc}"] == 2
+        assert counters["sgx.ocalls{enclave=svc}"] == 1
+        # Each ecall and each ocall is 2 boundary crossings.
+        assert counters["sgx.transitions{enclave=svc}"] == 6
+
+    def test_epc_gauges_sampled_per_platform_ordinal(self):
+        with enabled() as registry:
+            SgxPlatform(seed=3, quoting_key_bits=512)
+            SgxPlatform(seed=4, quoting_key_bits=512)
+            gauges = registry.snapshot()["gauges"]
+        assert "sgx.epc.faults{platform=0}" in gauges
+        assert "sgx.epc.faults{platform=1}" in gauges
+        assert "sgx.epc.resident_pages{platform=0}" in gauges
+
+    def test_disabled_default_uses_shared_noop_handles(self):
+        platform = SgxPlatform(seed=3, quoting_key_bits=512)
+        enclave = platform.load_enclave(CODE)
+        assert enclave._tel_ecalls is NULL_REGISTRY.counter("anything")
+        enclave.ecall("echo", 1)
+        assert enclave._tel_ecalls.value == 0
+
+
+class TestSconeInstrumentation:
+    def test_sync_and_async_call_counters(self):
+        with enabled() as registry:
+            sync = SyncSyscallExecutor(
+                CycleClock(), SimulatedKernel(), DEFAULT_COSTS
+            )
+            fd = sync.call("open", "/f")
+            sync.call("write", fd, b"x")
+            asynchronous = AsyncSyscallExecutor(
+                CycleClock(), SimulatedKernel(), DEFAULT_COSTS, workers=2
+            )
+            asynchronous.wait(asynchronous.submit("open", "/g"))
+        counters = registry.snapshot()["counters"]
+        assert counters["scone.syscalls{mode=sync}"] == 2
+        assert counters["scone.syscalls{mode=async}"] == 1
+        depth = registry.snapshot()["histograms"]["scone.syscall_queue_depth"]
+        assert depth["count"] == 1
+
+    def test_queue_depth_histogram_sees_busy_workers(self):
+        with enabled() as registry:
+            executor = AsyncSyscallExecutor(
+                CycleClock(), SimulatedKernel(), DEFAULT_COSTS, workers=2
+            )
+            for _ in range(4):
+                executor.submit("open", "/f")
+        histogram = registry.snapshot()["histograms"][
+            "scone.syscall_queue_depth"
+        ]
+        assert histogram["count"] == 4
+        # At least the first submit saw an idle queue (depth 0).
+        assert histogram["bucket_counts"][0] >= 1
+
+
+class TestSnapshotDeterminismAcrossRuns:
+    def test_same_scenario_same_snapshot_in_one_process(self):
+        """Global id counters advance between runs; metric names must
+        not embed them, so two same-seed runs snapshot identically."""
+
+        def scenario():
+            with enabled() as registry:
+                platform = SgxPlatform(seed=9, quoting_key_bits=512)
+                enclave = platform.load_enclave(CODE)
+                for value in range(5):
+                    enclave.ecall("echo", value)
+                return registry.to_json()
+
+        assert scenario() == scenario()

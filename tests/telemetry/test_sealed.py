@@ -1,0 +1,87 @@
+"""Tests for sealed telemetry snapshots: the trust boundary itself."""
+
+import pytest
+
+from repro.crypto.aead import AeadKey
+from repro.crypto.primitives import DeterministicRandomSource
+from repro.errors import IntegrityError
+from repro.sim.clock import CycleClock
+from repro.telemetry import (
+    TELEMETRY_AAD,
+    EnclaveTelemetry,
+    open_snapshot,
+    seal_snapshot,
+    spans_from_snapshot,
+)
+
+
+def _key(seed=7):
+    return AeadKey.generate(DeterministicRandomSource(seed))
+
+
+class TestSealOpen:
+    def test_round_trip(self):
+        key = _key()
+        payload = {"domain": "shard-0", "metrics": {"counters": {"m": 3}}}
+        assert open_snapshot(key, seal_snapshot(key, payload)) == payload
+
+    def test_blob_is_not_plaintext(self):
+        key = _key()
+        blob = seal_snapshot(key, {"secret_metric": 12345})
+        assert b"secret_metric" not in blob
+        assert b"12345" not in blob
+
+    def test_bit_flip_fails_closed(self):
+        key = _key()
+        blob = bytearray(seal_snapshot(key, {"m": 1}))
+        blob[-1] ^= 0x01
+        with pytest.raises(IntegrityError):
+            open_snapshot(key, bytes(blob))
+
+    def test_truncation_fails_closed(self):
+        key = _key()
+        blob = seal_snapshot(key, {"m": 1})
+        with pytest.raises(IntegrityError):
+            open_snapshot(key, blob[:-1])
+
+    def test_wrong_key_fails_closed(self):
+        blob = seal_snapshot(_key(1), {"m": 1})
+        with pytest.raises(IntegrityError):
+            open_snapshot(_key(2), blob)
+
+    def test_wrong_domain_separation_fails_closed(self):
+        """A blob sealed under another AAD (say a plane checkpoint)
+        cannot be passed off as a telemetry snapshot."""
+        key = _key()
+        foreign = key.encrypt_batch(
+            [b"{}"], aad=b"checkpoint|v1"
+        ).to_bytes()
+        assert TELEMETRY_AAD != b"checkpoint|v1"
+        with pytest.raises(IntegrityError):
+            open_snapshot(key, foreign)
+
+
+class TestEnclaveTelemetry:
+    def test_export_carries_metrics_and_spans(self):
+        telemetry = EnclaveTelemetry(_key(), "shard-3")
+        telemetry.registry.counter("matched").inc(4)
+        clock = CycleClock()
+        with telemetry.recorder.span("match", clock):
+            clock.charge(64)
+        payload = open_snapshot(telemetry.key, telemetry.export_sealed())
+        assert payload["domain"] == "shard-3"
+        assert payload["metrics"]["counters"]["matched"] == 4
+        spans = spans_from_snapshot(payload)
+        assert len(spans) == 1
+        assert spans[0].name == "match"
+        assert spans[0].duration == 64
+        assert spans[0].domain == "shard-3"
+
+    def test_registry_is_live_regardless_of_host_default(self):
+        """The enclave decided to record by accepting the key; the
+        host-global on/off switch governs host-side instruments only."""
+        telemetry = EnclaveTelemetry(_key(), "coord")
+        assert telemetry.registry.active
+
+    def test_spans_from_snapshot_tolerates_absent_section(self):
+        assert spans_from_snapshot({"metrics": {}}) == []

@@ -1,0 +1,143 @@
+"""Unit tests for span tracing and cross-domain tree reconstruction."""
+
+from repro.sim.clock import CycleClock
+from repro.telemetry import (
+    NULL_RECORDER,
+    Span,
+    SpanRecorder,
+    build_span_tree,
+    render_flame,
+)
+
+
+class TestSpanRecorder:
+    def test_span_measures_clock_delta(self):
+        clock = CycleClock()
+        recorder = SpanRecorder("driver")
+        with recorder.span("work", clock) as span:
+            clock.charge(500)
+        assert span.duration == 500
+        assert recorder.spans == [span]
+        assert span.domain == "driver"
+
+    def test_nested_spans_parent_implicitly(self):
+        clock = CycleClock()
+        recorder = SpanRecorder("driver")
+        with recorder.span("outer", clock) as outer:
+            with recorder.span("inner", clock) as inner:
+                clock.charge(1)
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_ids_are_sequential_and_deterministic(self):
+        first = SpanRecorder("d")
+        second = SpanRecorder("d")
+        clock = CycleClock()
+        for recorder in (first, second):
+            with recorder.span("a", clock):
+                pass
+            with recorder.span("b", clock):
+                pass
+        assert ([span.span_id for span in first.spans]
+                == [span.span_id for span in second.spans]
+                == ["d:0", "d:1"])
+        assert first.spans[0].trace_id == "d/t0"
+
+    def test_cross_boundary_trace_argument(self):
+        """An enclave-side recorder parents under a host (trace, span)
+        pair passed across the ECALL boundary."""
+        host_clock, enclave_clock = CycleClock(), CycleClock()
+        host = SpanRecorder("host")
+        enclave = SpanRecorder("enclave")
+        reservation = host.reserve()
+        with enclave.span("match", enclave_clock, trace=reservation):
+            enclave_clock.charge(10)
+        host.record_reserved(
+            reservation, "publish", host_clock.now, host_clock.now + 99
+        )
+        child = enclave.spans[0]
+        root = host.spans[0]
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert root.duration == 99
+        assert root.parent_id is None
+
+    def test_record_with_computed_timestamps(self):
+        recorder = SpanRecorder("d")
+        span = recorder.record("calc", 100, 350, answer=42)
+        assert span.duration == 250
+        assert span.attrs == {"answer": 42}
+        assert span.trace_id == "d/t0"
+
+    def test_export_round_trips_through_dicts(self):
+        clock = CycleClock()
+        recorder = SpanRecorder("d")
+        with recorder.span("op", clock, size=3):
+            clock.charge(7)
+        restored = [Span.from_dict(raw) for raw in recorder.export()]
+        assert restored == recorder.spans
+
+
+class TestNullRecorder:
+    def test_disabled_and_inert(self):
+        clock = CycleClock()
+        assert NULL_RECORDER.enabled is False
+        with NULL_RECORDER.span("op", clock) as span:
+            span.attrs["key"] = "value"   # must not leak anywhere
+            span.end = 123                # attribute writes swallowed
+        assert NULL_RECORDER.spans == ()
+        assert NULL_RECORDER.export() == []
+        assert span.attrs == {}
+
+    def test_reserve_and_record_are_noops(self):
+        reservation = NULL_RECORDER.reserve()
+        NULL_RECORDER.record_reserved(reservation, "op", 0, 1)
+        NULL_RECORDER.record("op", 0, 1)
+        assert NULL_RECORDER.spans == ()
+
+
+class TestSpanTree:
+    def _spans(self):
+        root = Span("root", "h:0", "h/t0", None, "host", 0, 100)
+        early = Span("early", "e:0", "h/t0", "h:0", "enclave", 5, 20)
+        late = Span("late", "e:1", "h/t0", "h:0", "enclave", 30, 60)
+        grandchild = Span("leaf", "e:2", "h/t0", "e:1", "enclave", 31, 40)
+        other = Span("other", "h:1", "h/t1", None, "host", 0, 10)
+        return root, early, late, grandchild, other
+
+    def test_tree_joins_domains_by_context(self):
+        root, early, late, grandchild, other = self._spans()
+        tree = build_span_tree(
+            [other, grandchild, late, early, root], trace_id="h/t0"
+        )
+        assert len(tree) == 1
+        node, children = tree[0]
+        assert node is root
+        assert [child.name for child, _ in children] == ["early", "late"]
+        late_node = children[1]
+        assert [child.name for child, _ in late_node[1]] == ["leaf"]
+
+    def test_orphan_parent_becomes_root(self):
+        orphan = Span("orphan", "x:0", "t", "missing", "d", 0, 1)
+        tree = build_span_tree([orphan])
+        assert [span.name for span, _ in tree] == ["orphan"]
+
+    def test_render_flame_indents_and_labels_domains(self):
+        root, early, late, grandchild, _other = self._spans()
+        text = render_flame(
+            build_span_tree([root, early, late, grandchild])
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert "[host]" in lines[0]
+        assert lines[1].startswith("  early")
+        assert "[enclave]" in lines[1]
+        assert lines[3].startswith("    leaf")
+
+    def test_render_flame_shows_sorted_attrs(self):
+        span = Span("op", "d:0", "t", None, "d", 0, 2600000,
+                    attrs={"b": 2, "a": 1})
+        text = render_flame(build_span_tree([span]))
+        assert "a=1 b=2" in text
+        assert "1.0000 ms" in text

@@ -1,0 +1,204 @@
+"""Tier-1 tests under line coverage, with enforced floors.
+
+Runs the tier-1 suite (``pytest -x -q``) while collecting line coverage
+over ``src/repro`` and fails the build if coverage drops below the
+checked-in floors:
+
+- ``src/repro/telemetry/`` must stay at or above 90% (the telemetry
+  plane is the observability substrate; untested metrics lie silently);
+- the repository overall must stay at or above the measured baseline,
+  so coverage can only ratchet up.
+
+Uses the ``coverage`` package when it is installed; otherwise falls
+back to a built-in ``sys.settrace`` collector (the container image does
+not ship ``coverage``, and installing dependencies is out of scope).
+The denominator is the set of *executable* lines, computed by compiling
+each source file and walking every code object's ``co_lines`` table --
+the same definition the tracer reports against, so 100% is reachable.
+
+Usage: ``PYTHONPATH=src python tools/test_cov.py [pytest args...]``
+(default pytest args: ``-x -q``; ``make test-cov``).
+"""
+
+import os
+import sys
+import threading
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+PACKAGE_DIR = os.path.join(ROOT, "src", "repro")
+
+# (path prefix relative to ROOT, minimum percent covered)
+FLOORS = (
+    ("src/repro/telemetry/", 90.0),
+)
+# Whole-package ratchet: measured 95.3% at introduction; the floor sits
+# a little below that so unrelated refactors don't flake, but a real
+# coverage regression (a new untested subsystem) fails.
+REPO_FLOOR = 93.0
+
+try:
+    import coverage as _coverage
+except ImportError:
+    _coverage = None
+
+
+def executable_lines(path):
+    """Line numbers carrying executable code, per the compiled file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    lines = set()
+    stack = [compile(source, path, "exec")]
+    while stack:
+        code = stack.pop()
+        lines.update(
+            line for _start, _end, line in code.co_lines()
+            if line is not None and line > 0
+        )
+        for const in code.co_consts:
+            if hasattr(const, "co_lines"):
+                stack.append(const)
+    return lines
+
+
+def package_files():
+    found = []
+    for directory, _subdirs, names in os.walk(PACKAGE_DIR):
+        for name in sorted(names):
+            if name.endswith(".py"):
+                found.append(os.path.join(directory, name))
+    return sorted(found)
+
+
+class SettraceCollector:
+    """Fallback line collector: a global trace function that installs a
+    local tracer only in frames whose code lives under ``src/repro``,
+    so the rest of the suite runs untraced-per-line.  Thread-safe under
+    the GIL (set.add / dict.setdefault are atomic enough); pool threads
+    are covered through ``threading.settrace``."""
+
+    def __init__(self, prefix):
+        self.prefix = prefix
+        self.hits = {}
+
+    def _local(self, frame, event, _arg):
+        if event == "line":
+            hits = self.hits.get(frame.f_code.co_filename)
+            if hits is None:
+                hits = self.hits.setdefault(
+                    frame.f_code.co_filename, set()
+                )
+            hits.add(frame.f_lineno)
+        return self._local
+
+    def _global(self, frame, event, _arg):
+        if event == "call" and frame.f_code.co_filename.startswith(
+                self.prefix):
+            # Module-level frames hit their first line before the local
+            # tracer sees a "line" event for it; record it here.
+            hits = self.hits.setdefault(frame.f_code.co_filename, set())
+            hits.add(frame.f_lineno)
+            return self._local
+        return None
+
+    def start(self):
+        threading.settrace(self._global)
+        sys.settrace(self._global)
+
+    def stop(self):
+        sys.settrace(None)
+        threading.settrace(None)
+
+    def lines_for(self, path):
+        return self.hits.get(path, set())
+
+
+class CoveragePackageCollector:
+    """The real ``coverage`` package, when available."""
+
+    def __init__(self, prefix):
+        self._cov = _coverage.Coverage(
+            source=[prefix], data_file=None, branch=False
+        )
+
+    def start(self):
+        self._cov.start()
+
+    def stop(self):
+        self._cov.stop()
+
+    def lines_for(self, path):
+        try:
+            _name, executed, _missing, _text = self._cov.analysis(path)
+        except Exception:
+            return set()
+        return set(executed)
+
+
+def run(pytest_args):
+    collector = (
+        CoveragePackageCollector(PACKAGE_DIR)
+        if _coverage is not None
+        else SettraceCollector(PACKAGE_DIR + os.sep)
+    )
+    collector.start()
+    try:
+        import pytest
+
+        status = pytest.main(list(pytest_args))
+    finally:
+        collector.stop()
+    if status != 0:
+        print("test-cov: test run failed (exit %s); coverage not judged"
+              % status)
+        return int(status)
+
+    per_file = {}
+    for path in package_files():
+        wanted = executable_lines(path)
+        if not wanted:
+            continue
+        covered = collector.lines_for(path) & wanted
+        per_file[os.path.relpath(path, ROOT)] = (len(covered), len(wanted))
+
+    def percent(pairs):
+        covered = sum(hit for hit, _total in pairs)
+        total = sum(total for _hit, total in pairs)
+        return 100.0 * covered / total if total else 100.0
+
+    width = max(len(name) for name in per_file)
+    for name in sorted(per_file):
+        hit, total = per_file[name]
+        print("%-*s %5.1f%% (%d/%d)"
+              % (width, name, 100.0 * hit / total, hit, total))
+
+    failures = []
+    for prefix, floor in FLOORS:
+        pairs = [value for name, value in per_file.items()
+                 if name.startswith(prefix)]
+        scoped = percent(pairs)
+        print("coverage %-24s %5.1f%% (floor %.0f%%)"
+              % (prefix, scoped, floor))
+        if scoped < floor:
+            failures.append(
+                "%s at %.1f%% is below its %.0f%% floor"
+                % (prefix, scoped, floor)
+            )
+    overall = percent(list(per_file.values()))
+    print("coverage %-24s %5.1f%% (floor %.0f%%)"
+          % ("src/repro (total)", overall, REPO_FLOOR))
+    if overall < REPO_FLOOR:
+        failures.append(
+            "src/repro at %.1f%% is below the %.0f%% repository floor"
+            % (overall, REPO_FLOOR)
+        )
+    if failures:
+        print("test-cov FAILED:")
+        for failure in failures:
+            print("  " + failure)
+        return 1
+    print("test-cov passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run(sys.argv[1:] or ["-x", "-q"]))
