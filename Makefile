@@ -22,25 +22,28 @@ bench:
 bench-smoke:
 	$(PYTHON) -m repro.cli smoke
 
-# Performance gate: run A1, A10, and E6 in smoke mode and fail if any
-# gated metric (visits/match, virtual_ms/match, virtual_ms/pub,
-# recover_ms_med, silent_loss) regressed more than 10% against the
-# checked-in benchmarks/out/gate_*.json baselines.  Regenerate with:
+# Performance gate: run A1, A9, A10, and E6 in smoke mode and fail if
+# any gated metric (visits/match, virtual_ms/match, virtual_ms/MB,
+# virtual_ms/pub, recover_ms_med, silent_loss) regressed more than 10%
+# against the checked-in benchmarks/out/gate_*.json baselines.  The A9
+# rows pin the chunked-parallel sealing cost model (serial XOF vs.
+# chunked at 64/256 KiB chunks x 1/2/4/8 workers).  Regenerate with:
 #   $(PYTHON) -m repro.cli gate --update
 bench-gate:
 	$(PYTHON) -m repro.cli gate
 
 # Coverage gate: tier-1 suite under line coverage with enforced floors
-# (src/repro/telemetry/ >= 90%, repo-wide ratchet at the measured
-# baseline); uses the coverage package when installed, else a built-in
-# settrace collector.  See tools/test_cov.py.
+# (src/repro/telemetry/ >= 90%, src/repro/crypto/ >= 90%, repo-wide
+# ratchet at the measured baseline); uses the coverage package when
+# installed, else a built-in settrace collector.  See tools/test_cov.py.
 test-cov:
 	$(PYTHON) tools/test_cov.py -x -q
 
 # Smoke run plus the chaos determinism gate: the E5 fault-injection
 # scenarios and the E6 sharded-plane failover scenarios must produce
 # identical results (fault log and delivery set) across two same-seed
-# runs.
+# runs, and the same payload sealed twice through the chunked process
+# pool (plus once serially) must yield byte-identical ciphertext.
 chaos-smoke:
 	$(PYTHON) -m repro.cli smoke --chaos
 

@@ -19,6 +19,7 @@ hiccup.
 
 import json
 
+from repro.crypto.aead import SealedBatch
 from repro.errors import ConfigurationError, IntegrityError
 from repro.retry import BackoffClock, retry_call
 
@@ -160,6 +161,53 @@ class SecureTable:
         for key in self._keys:
             self.get(key)
         return True
+
+    def _export_aad(self):
+        return b"kvstore-export|" + self.name.encode("utf-8")
+
+    def export_sealed(self, export_key, workers=None):
+        """Seal the whole table as one batch blob for bulk movement.
+
+        Record 0 is the sorted key list; records 1..n are the row
+        values in that order, so membership travels authenticated with
+        the data.  The table pays one nonce and one tag; tables larger
+        than one chunk auto-select the chunked ``SB2`` framing, and
+        ``workers`` spreads the keystream over the process pool.  Row
+        values flow from the shield into the frame with no intermediate
+        copy beyond the frame itself.
+        """
+        keys = self.keys()
+        payloads = [json.dumps(keys).encode("utf-8")]
+        payloads.extend(self.get(key) for key in keys)
+        return export_key.encrypt_batch(
+            payloads, aad=self._export_aad(), workers=workers
+        ).to_bytes()
+
+    @classmethod
+    def import_sealed(cls, volume, name, export_key, blob, workers=None,
+                      retry_policy=None):
+        """Open a sealed export and materialise it as a table.
+
+        Tampering anywhere -- the key list, any row, truncation,
+        reordering or splicing of body chunks -- fails closed on the
+        batch tag or the chunk manifest before a single row is written.
+        """
+        table = cls(volume, name, retry_policy=retry_policy)
+        records = export_key.decrypt_batch(
+            SealedBatch.from_bytes(blob),
+            aad=table._export_aad(),
+            workers=workers,
+        )
+        if not records:
+            raise IntegrityError("sealed table export carries no key list")
+        keys = json.loads(records[0].decode("utf-8"))
+        if len(records) != len(keys) + 1:
+            raise IntegrityError(
+                "sealed table export lists %d keys but carries %d rows"
+                % (len(keys), len(records) - 1)
+            )
+        table.put_many(zip(keys, records[1:]))
+        return table
 
     @classmethod
     def open(cls, volume, name, retry_policy=None):

@@ -89,10 +89,15 @@ class SimulatedNetwork:
 
 
 class BulkTransfer:
-    """Chunk + compress + seal + batch sender, and the matching receiver."""
+    """Chunk + compress + seal + batch sender, and the matching receiver.
+
+    ``seal_workers`` flows into the AEAD layer: frames large enough for
+    the chunked ``SB2`` framing spread their keystream over the process
+    pool (the wire bytes are identical at any worker count).
+    """
 
     def __init__(self, key, chunk_size=64 * 1024, batch_size=8, compress=True,
-                 compression_level=1):
+                 compression_level=1, seal_workers=None):
         if chunk_size < 1 or batch_size < 1:
             raise ConfigurationError("chunk_size and batch_size must be >= 1")
         self.key = key
@@ -100,6 +105,7 @@ class BulkTransfer:
         self.batch_size = batch_size
         self.compress = compress
         self.compression_level = compression_level
+        self.seal_workers = seal_workers
 
     def _frame_aad(self, frame_index, frame_count, transfer_id):
         return b"bulk|%s|%d|%d|%d" % (
@@ -113,9 +119,14 @@ class BulkTransfer:
         sender keeps these pristine frames for retransmission -- what a
         hostile network *returns* may differ from what was sent.
         """
+        # Chunks are views into the caller's payload: the uncompressed
+        # path hands them to the AEAD framing without ever copying the
+        # payload (the sealed frame is the first materialisation), and
+        # the compressor reads straight from the view.
+        view = memoryview(payload)
         chunks = [
-            payload[offset : offset + self.chunk_size]
-            for offset in range(0, len(payload), self.chunk_size)
+            view[offset : offset + self.chunk_size]
+            for offset in range(0, len(view), self.chunk_size)
         ] or [b""]
         if self.compress:
             bodies = [
@@ -130,7 +141,9 @@ class BulkTransfer:
         ]
         frames = [
             self.key.encrypt_batch(
-                batch, aad=self._frame_aad(frame_index, len(batches), transfer_id)
+                batch,
+                aad=self._frame_aad(frame_index, len(batches), transfer_id),
+                workers=self.seal_workers,
             ).to_bytes()
             for frame_index, batch in enumerate(batches)
         ]
@@ -173,6 +186,7 @@ class BulkTransfer:
             return self.key.decrypt_batch(
                 batch,
                 aad=self._frame_aad(frame_index, frame_count, transfer_id),
+                workers=self.seal_workers,
             )
         except IntegrityError as exc:
             raise IntegrityError(

@@ -51,7 +51,7 @@ EXPERIMENTS = {
     "a8": ("benchmarks.bench_a8_paging_avoidance", "run_a8",
            "future work: paging-avoiding hot/cold matcher"),
     "a9": ("benchmarks.bench_a9_crypto_dataplane", "run_a9",
-           "crypto data-plane throughput (seed vs. fused primitives)"),
+           "crypto data-plane throughput (seed vs. fused vs. chunked)"),
     "a10": ("benchmarks.bench_a10_sharded_matching", "run_a10",
             "sharded matching plane publish fan-out"),
 }
@@ -67,6 +67,7 @@ EXPERIMENTS = {
 # only ``gate --update`` does.
 GATE_SPECS = {
     "a1": ("gate_a1", "A1_HEADER", {1: "visits/match", 3: "virtual_ms/match"}),
+    "a9": ("gate_a9", "A9_HEADER", {1: "virtual_ms/MB"}),
     "a10": ("gate_a10", "A10_HEADER", {1: "virtual_ms/pub"}),
     "e6": ("gate_e6", "E6_HEADER", {5: "recover_ms_med", 7: "silent_loss"}),
 }
@@ -154,7 +155,9 @@ def run_chaos_check():
     every chaos test is flaky by construction.  Each pass runs under a
     fresh metrics registry and the canonical snapshots must also be
     byte-identical: the telemetry plane may not observe anything the
-    seed does not determine.
+    seed does not determine.  The chunked sealing plane is held to the
+    same bar: the same payload sealed twice through the process pool
+    (and once serially) must produce byte-identical ciphertext.
     """
     from repro import telemetry
 
@@ -194,10 +197,48 @@ def run_chaos_check():
             return 1
         _render(experiment_id, first)
         total += len(first)
+    if _chunked_seal_determinism() != 0:
+        return 1
     print(
         "chaos determinism ok: %d scenarios identical across two runs, "
-        "metric snapshots byte-identical (%.1fs)"
+        "metric snapshots byte-identical, chunked seals byte-identical "
+        "(%.1fs)"
         % (total, time.perf_counter() - start)
+    )
+    return 0
+
+
+def _chunked_seal_determinism():
+    """Assert chunked-parallel sealing is byte-deterministic.
+
+    Seals the same payload twice with the process pool enabled (4
+    workers) and once serially, under a fixed key/nonce/chunk-size:
+    all three ciphertexts must be byte-identical.  Worker scheduling
+    must never leak into the wire bytes -- otherwise sealed artifacts
+    would differ across hosts and every chunked test would be flaky.
+    """
+    from repro.crypto.aead import AeadKey
+    from repro.crypto.primitives import DeterministicRandomSource
+
+    key = AeadKey.generate(DeterministicRandomSource(77))
+    nonce = DeterministicRandomSource(78).bytes(16)
+    payload = DeterministicRandomSource(79).bytes(512 * 1024)
+    seals = [
+        key.encrypt_batch(
+            [payload], nonce=nonce, chunk_size=64 * 1024, workers=workers
+        ).to_bytes()
+        for workers in (4, 4, 1)
+    ]
+    if seals[0] != seals[1] or seals[0] != seals[2]:
+        print(
+            "chaos determinism FAILED: chunked seals diverged "
+            "(pool run A == pool run B: %s; pool == serial: %s)"
+            % (seals[0] == seals[1], seals[0] == seals[2])
+        )
+        return 1
+    print(
+        "chunked seal determinism ok: 2 pooled runs + 1 serial run "
+        "byte-identical (%d wire bytes)" % len(seals[0])
     )
     return 0
 
@@ -348,8 +389,9 @@ def run_trace(seed=66):
 def run_gate(update=False):
     """Fail if a gated metric regressed >10% against its baseline.
 
-    Runs the gated experiments (A1, A10) in smoke mode and compares the
-    gated columns row-by-row against ``benchmarks/out/gate_<id>.json``.
+    Runs the gated experiments (A1, A9, A10, E6) in smoke mode and
+    compares the gated columns row-by-row against
+    ``benchmarks/out/gate_<id>.json``.
     With ``update=True`` the fresh rows replace the baselines instead.
     """
     import json

@@ -22,11 +22,28 @@ PRF available), and one tag over the whole frame.  The framing is
 versioned (magic ``SB1``) and domain-separated
 from single-record tags, so a batch can never verify as a
 :class:`Ciphertext` or vice versa.
+
+Payloads larger than one chunk are sealed *chunked* (magic ``SB2``):
+the body keystream is generated per chunk from derived per-chunk
+material (see :mod:`repro.crypto.chunked`), optionally across a
+process pool, and the frame carries a manifest of per-chunk sizes and
+ciphertext digests.  The single AEAD tag covers the manifest together
+with the chunk count and chunk size, so truncation, chunk reordering,
+duplication, and cross-payload splicing all fail closed; the ciphertext
+is byte-identical for a fixed key/nonce/chunk-size regardless of the
+worker count.  Sub-chunk payloads keep the exact ``SB1`` bytes they
+always produced -- auto-selection never changes small-record framing.
 """
 
 from dataclasses import dataclass
 
 from repro.errors import IntegrityError
+from repro.crypto.chunked import (
+    DEFAULT_CHUNK_SIZE,
+    build_manifest,
+    chunked_keystream_xor,
+    verify_manifest,
+)
 from repro.crypto.primitives import (
     SystemRandomSource,
     constant_time_equal,
@@ -41,6 +58,7 @@ NONCE_SIZE = 16
 TAG_SIZE = 32
 
 BATCH_MAGIC = b"SB1"
+CHUNKED_MAGIC = b"SB2"
 _LEN_SIZE = 4
 
 _ENC_LABEL = b"securecloud-aead-enc"
@@ -75,51 +93,117 @@ class Ciphertext:
         return NONCE_SIZE + TAG_SIZE + len(self.body)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=True)
 class SealedBatch:
     """Many records sealed as one frame: one nonce, one tag.
 
     ``body`` is the keystream-encrypted concatenation of
     ``len(record) || record`` for every record; ``count`` is
     authenticated (it participates in the tag header).
+
+    A *chunked* batch (``chunk_size > 0``, wire magic ``SB2``) also
+    carries ``manifest``: per body chunk, its size and the SHA-256 of
+    its ciphertext, in order.  The tag then covers the manifest (plus
+    count and chunk size) instead of the raw body -- the body is held
+    to the authenticated manifest chunk by chunk, which is what lets
+    verification and de-keystreaming run per chunk in parallel.
     """
 
     nonce: bytes
     body: bytes
     tag: bytes
     count: int
+    chunk_size: int = 0
+    manifest: bytes = b""
 
     def to_bytes(self):
-        """Serialise: magic || count || nonce || tag || body."""
-        return (
-            BATCH_MAGIC
-            + self.count.to_bytes(4, "big")
-            + self.nonce
-            + self.tag
-            + self.body
-        )
+        """Serialise.
+
+        ``SB1``: magic || count || nonce || tag || body.
+        ``SB2``: magic || count || chunk_size || manifest_len || nonce
+        || tag || manifest || body.  Built with one join so a
+        ``memoryview`` body (the zero-copy decode path) serialises
+        without an intermediate copy per ``+``.
+        """
+        if self.chunk_size:
+            return b"".join((
+                CHUNKED_MAGIC,
+                self.count.to_bytes(4, "big"),
+                self.chunk_size.to_bytes(4, "big"),
+                len(self.manifest).to_bytes(4, "big"),
+                self.nonce,
+                self.tag,
+                self.manifest,
+                self.body,
+            ))
+        return b"".join((
+            BATCH_MAGIC,
+            self.count.to_bytes(4, "big"),
+            self.nonce,
+            self.tag,
+            self.body,
+        ))
 
     @classmethod
     def from_bytes(cls, raw):
-        """Parse a blob produced by :meth:`to_bytes`."""
+        """Parse a blob produced by :meth:`to_bytes`.
+
+        The body is kept as a ``memoryview`` into ``raw`` -- decode
+        adds no ciphertext copy; the only copy on the open path is the
+        per-record slice handed to the consumer.
+        """
+        magic = bytes(raw[: len(BATCH_MAGIC)])
+        if magic == CHUNKED_MAGIC:
+            header = len(CHUNKED_MAGIC) + 12 + NONCE_SIZE + TAG_SIZE
+            if len(raw) < header:
+                raise IntegrityError("sealed batch header truncated")
+            view = memoryview(raw)
+            offset = len(CHUNKED_MAGIC)
+            count = int.from_bytes(view[offset : offset + 4], "big")
+            chunk_size = int.from_bytes(view[offset + 4 : offset + 8], "big")
+            manifest_len = int.from_bytes(view[offset + 8 : offset + 12], "big")
+            offset += 12
+            if chunk_size < 1:
+                raise IntegrityError("chunked batch with zero chunk size")
+            nonce = bytes(view[offset : offset + NONCE_SIZE])
+            offset += NONCE_SIZE
+            tag = bytes(view[offset : offset + TAG_SIZE])
+            offset += TAG_SIZE
+            if len(raw) - offset < manifest_len:
+                raise IntegrityError("chunk manifest truncated")
+            manifest = bytes(view[offset : offset + manifest_len])
+            return cls(
+                nonce=nonce,
+                body=view[offset + manifest_len :],
+                tag=tag,
+                count=count,
+                chunk_size=chunk_size,
+                manifest=manifest,
+            )
         header = len(BATCH_MAGIC) + 4 + NONCE_SIZE + TAG_SIZE
-        if len(raw) < header or raw[: len(BATCH_MAGIC)] != BATCH_MAGIC:
+        if len(raw) < header or magic != BATCH_MAGIC:
             raise IntegrityError("not a sealed batch")
+        view = memoryview(raw)
         offset = len(BATCH_MAGIC)
-        count = int.from_bytes(raw[offset : offset + 4], "big")
+        count = int.from_bytes(view[offset : offset + 4], "big")
         offset += 4
-        nonce = raw[offset : offset + NONCE_SIZE]
+        nonce = bytes(view[offset : offset + NONCE_SIZE])
         offset += NONCE_SIZE
-        tag = raw[offset : offset + TAG_SIZE]
+        tag = bytes(view[offset : offset + TAG_SIZE])
         offset += TAG_SIZE
-        return cls(nonce=nonce, body=raw[offset:], tag=tag, count=count)
+        return cls(nonce=nonce, body=view[offset:], tag=tag, count=count)
 
     @classmethod
     def is_batch(cls, raw):
-        """Whether ``raw`` carries the batch framing magic."""
-        return raw[: len(BATCH_MAGIC)] == BATCH_MAGIC
+        """Whether ``raw`` carries either batch framing magic."""
+        return bytes(raw[: len(BATCH_MAGIC)]) in (BATCH_MAGIC, CHUNKED_MAGIC)
 
     def __len__(self):
+        if self.chunk_size:
+            return (
+                len(CHUNKED_MAGIC) + 12 + NONCE_SIZE + TAG_SIZE
+                + len(self.manifest) + len(self.body)
+            )
         return len(BATCH_MAGIC) + 4 + NONCE_SIZE + TAG_SIZE + len(self.body)
 
 
@@ -203,6 +287,25 @@ class AeadKey:
         ctx.update(body)
         return ctx.digest()
 
+    def _chunked_tag(self, nonce, aad, count, chunk_size, manifest):
+        # The chunked tag authenticates the *manifest*, not the body:
+        # every body chunk is separately held to its authenticated size
+        # and digest, so body integrity follows transitively and the
+        # digest checks can run per chunk (in parallel).  The SB2 magic
+        # and the chunk size in the header domain-separate this from
+        # both SB1 batch tags and single-record tags.
+        ctx = self._mac_context.copy()
+        ctx.update(
+            CHUNKED_MAGIC
+            + count.to_bytes(4, "big")
+            + chunk_size.to_bytes(4, "big")
+            + nonce
+            + len(aad).to_bytes(8, "big")
+            + aad
+        )
+        ctx.update(manifest)
+        return ctx.digest()
+
     def encrypt(self, plaintext, aad=b"", nonce=None):
         """Encrypt and authenticate ``plaintext`` binding ``aad``."""
         if nonce is None:
@@ -219,24 +322,68 @@ class AeadKey:
             raise IntegrityError("AEAD tag verification failed")
         return keystream_xor(self._enc_key, ciphertext.nonce, ciphertext.body)
 
-    def encrypt_batch(self, payloads, aad=b"", nonce=None):
+    def encrypt_batch(self, payloads, aad=b"", nonce=None, chunk_size=None,
+                      workers=None):
         """Seal a sequence of records as one :class:`SealedBatch`.
 
         Equivalent in confidentiality/integrity to encrypting each
         record separately, but pays one nonce, one keystream setup, and
         one tag for the whole batch.
+
+        ``chunk_size`` selects the framing: ``None`` (default)
+        auto-selects -- frames larger than one default chunk are sealed
+        chunked (``SB2``), smaller frames keep the byte-identical
+        serial ``SB1`` path; ``0`` forces serial; a positive value
+        forces chunked at that size.  ``workers > 1`` spreads chunk
+        keystreams over the process pool (output bytes are identical
+        either way).
         """
         payloads = list(payloads)
         if nonce is None:
             nonce = self._random.bytes(NONCE_SIZE)
         if len(nonce) != NONCE_SIZE:
             raise ValueError("nonce must be %d bytes" % NONCE_SIZE)
-        body = xof_keystream_xor(self._enc_key, nonce, _frame_records(payloads))
+        frame = _frame_records(payloads)
+        if chunk_size is None:
+            chunk_size = (
+                DEFAULT_CHUNK_SIZE if len(frame) > DEFAULT_CHUNK_SIZE else 0
+            )
+        if chunk_size:
+            body = chunked_keystream_xor(
+                self._enc_key, nonce, frame, chunk_size, workers
+            )
+            manifest = build_manifest(body, chunk_size)
+            tag = self._chunked_tag(
+                nonce, aad, len(payloads), chunk_size, manifest
+            )
+            return SealedBatch(
+                nonce=nonce, body=body, tag=tag, count=len(payloads),
+                chunk_size=chunk_size, manifest=manifest,
+            )
+        body = xof_keystream_xor(self._enc_key, nonce, frame)
         tag = self._batch_tag(nonce, aad, len(payloads), body)
         return SealedBatch(nonce=nonce, body=body, tag=tag, count=len(payloads))
 
-    def decrypt_batch(self, batch, aad=b""):
-        """Verify and open a :class:`SealedBatch`; returns the records."""
+    def decrypt_batch(self, batch, aad=b"", workers=None):
+        """Verify and open a :class:`SealedBatch`; returns the records.
+
+        Chunked batches verify the tag over the manifest first, then
+        hold every body chunk to its authenticated size and digest, and
+        only then de-keystream -- nothing about the plaintext is
+        computed from unauthenticated bytes.
+        """
+        if batch.chunk_size:
+            expected = self._chunked_tag(
+                batch.nonce, aad, batch.count, batch.chunk_size, batch.manifest
+            )
+            if not constant_time_equal(expected, batch.tag):
+                raise IntegrityError("sealed batch tag verification failed")
+            verify_manifest(batch.body, batch.chunk_size, batch.manifest)
+            frame = chunked_keystream_xor(
+                self._enc_key, batch.nonce, batch.body, batch.chunk_size,
+                workers,
+            )
+            return _unframe_records(frame, batch.count)
         expected = self._batch_tag(batch.nonce, aad, batch.count, batch.body)
         if not constant_time_equal(expected, batch.tag):
             raise IntegrityError("sealed batch tag verification failed")

@@ -37,8 +37,10 @@ class UntrustedStore:
         self._chunks = {}
 
     def put(self, path, index, blob):
-        """Store a chunk blob."""
-        self._chunks[(path, index)] = bytes(blob)
+        """Store a chunk blob (materialised only if not already bytes)."""
+        self._chunks[(path, index)] = (
+            blob if type(blob) is bytes else bytes(blob)
+        )
 
     def get(self, path, index):
         """Fetch a chunk blob; raises if absent (attacker deleted it)."""
@@ -290,33 +292,46 @@ class ProtectedVolume:
         entry = self.protection.entry(path)
         if offset > entry.size:
             self.write(path, b"\x00" * (offset - entry.size), offset=entry.size)
-        if not data:
+        if not len(data):
             return
         key = self._chunk_key(entry)
         chunk_size = entry.chunk_size
+        # One view over the caller's buffer: every per-chunk slice below
+        # is zero-copy; a chunk-aligned whole-chunk write reaches the
+        # AEAD pass without ever being materialised.
+        data = memoryview(data)
         end = offset + len(data)
         entry.version += 1
 
         first_chunk = offset // chunk_size
         last_chunk = (end - 1) // chunk_size
+        new_size = max(entry.size, end)
         for index in range(first_chunk, last_chunk + 1):
             chunk_start = index * chunk_size
             chunk_end = chunk_start + chunk_size
-            if chunk_start < entry.size:
-                existing = self._read_chunk(path, entry, key, index)
-            else:
-                existing = b""
-            buffer = bytearray(existing.ljust(chunk_size, b"\x00"))
             copy_from = max(offset, chunk_start)
             copy_to = min(end, chunk_end)
-            buffer[copy_from - chunk_start : copy_to - chunk_start] = data[
-                copy_from - offset : copy_to - offset
-            ]
-            new_size = max(entry.size, end)
             logical_chunk_end = min(chunk_end, new_size)
-            plaintext = bytes(buffer[: logical_chunk_end - chunk_start])
+            if (
+                copy_from == chunk_start
+                and copy_to == logical_chunk_end
+            ):
+                # The write covers the chunk's entire logical extent:
+                # seal the caller's slice directly, no read-modify-write
+                # buffer and no copy.
+                plaintext = data[copy_from - offset : copy_to - offset]
+            else:
+                if chunk_start < entry.size:
+                    existing = self._read_chunk(path, entry, key, index)
+                else:
+                    existing = b""
+                buffer = bytearray(existing.ljust(chunk_size, b"\x00"))
+                buffer[copy_from - chunk_start : copy_to - chunk_start] = data[
+                    copy_from - offset : copy_to - offset
+                ]
+                plaintext = memoryview(buffer)[: logical_chunk_end - chunk_start]
             self._write_chunk(path, entry, key, index, plaintext)
-        entry.size = max(entry.size, end)
+        entry.size = new_size
 
     def _write_chunk(self, path, entry, key, index, plaintext):
         self._tel_chunk_writes.inc()
@@ -334,7 +349,10 @@ class ProtectedVolume:
         blob = self.store.get(path, index)
         if index >= len(entry.chunk_tags):
             raise IntegrityError("chunk %d of %r has no recorded tag" % (index, path))
-        nonce, body = blob[:16], blob[16:]
+        # Slice the stored blob as views: the ciphertext body reaches
+        # the keystream XOR without being copied out of the store blob.
+        view = memoryview(blob)
+        nonce, body = bytes(view[:16]), view[16:]
         ciphertext = Ciphertext(nonce=nonce, body=body, tag=entry.chunk_tags[index])
         aad = self._chunk_aad(path, index)
         self._tel_chunk_reads.inc()
@@ -364,12 +382,26 @@ class ProtectedVolume:
         chunk_size = entry.chunk_size
         first_chunk = offset // chunk_size
         last_chunk = (offset + length - 1) // chunk_size
-        pieces = []
-        for index in range(first_chunk, last_chunk + 1):
-            pieces.append(self._read_chunk(path, entry, key, index))
-        data = b"".join(pieces)
         start = offset - first_chunk * chunk_size
-        return data[start : start + length]
+        if first_chunk == last_chunk:
+            # Single-chunk read: slice the decrypted chunk once instead
+            # of join-then-slice (two copies on the seed path).
+            chunk = self._read_chunk(path, entry, key, first_chunk)
+            if start == 0 and length == len(chunk):
+                return chunk
+            return chunk[start : start + length]
+        # Multi-chunk read: trim the edge chunks as views before the
+        # single join -- the join is the one copy the read path pays.
+        pieces = [
+            self._read_chunk(path, entry, key, index)
+            for index in range(first_chunk, last_chunk + 1)
+        ]
+        if start:
+            pieces[0] = memoryview(pieces[0])[start:]
+        overshoot = sum(len(piece) for piece in pieces) - length
+        if overshoot:
+            pieces[-1] = memoryview(pieces[-1])[:-overshoot]
+        return b"".join(pieces)
 
     def read_all(self, path):
         """The full authenticated contents of ``path``."""

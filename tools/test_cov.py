@@ -6,6 +6,9 @@ checked-in floors:
 
 - ``src/repro/telemetry/`` must stay at or above 90% (the telemetry
   plane is the observability substrate; untested metrics lie silently);
+- ``src/repro/crypto/`` must stay at or above 90% (the sealing plane
+  is the security substrate; an untested crypto branch is a hole in
+  the trust argument);
 - the repository overall must stay at or above the measured baseline,
   so coverage can only ratchet up.
 
@@ -30,6 +33,7 @@ PACKAGE_DIR = os.path.join(ROOT, "src", "repro")
 # (path prefix relative to ROOT, minimum percent covered)
 FLOORS = (
     ("src/repro/telemetry/", 90.0),
+    ("src/repro/crypto/", 90.0),
 )
 # Whole-package ratchet: measured 95.3% at introduction; the floor sits
 # a little below that so unrelated refactors don't flake, but a real
