@@ -22,12 +22,15 @@ bench:
 bench-smoke:
 	$(PYTHON) -m repro.cli smoke
 
-# Performance gate: run A1, A9, A10, and E6 in smoke mode and fail if
-# any gated metric (visits/match, virtual_ms/match, virtual_ms/MB,
-# virtual_ms/pub, recover_ms_med, silent_loss) regressed more than 10%
-# against the checked-in benchmarks/out/gate_*.json baselines.  The A9
-# rows pin the chunked-parallel sealing cost model (serial XOF vs.
-# chunked at 64/256 KiB chunks x 1/2/4/8 workers).  Regenerate with:
+# Performance gate: run A1, A9, A10, E6, and E7 in smoke mode and fail
+# if any gated metric (visits/match, virtual_ms/match, virtual_ms/MB,
+# virtual_ms/pub, detect_ms_med, recover_ms_med, silent_loss) regressed
+# more than 10% against the checked-in benchmarks/out/gate_*.json
+# baselines, printing one aggregated summary table with a single exit
+# code.  The A9 rows pin the chunked-parallel sealing cost model
+# (serial XOF vs. chunked at 64/256 KiB chunks x 1/2/4/8 workers); the
+# E7 rows pin node-failover detection/recovery latency and zero silent
+# loss.  Regenerate with:
 #   $(PYTHON) -m repro.cli gate --update
 bench-gate:
 	$(PYTHON) -m repro.cli gate
@@ -40,10 +43,11 @@ test-cov:
 	$(PYTHON) tools/test_cov.py -x -q
 
 # Smoke run plus the chaos determinism gate: the E5 fault-injection
-# scenarios and the E6 sharded-plane failover scenarios must produce
-# identical results (fault log and delivery set) across two same-seed
-# runs, and the same payload sealed twice through the chunked process
-# pool (plus once serially) must yield byte-identical ciphertext.
+# scenarios, the E6 sharded-plane failover scenarios, and the E7
+# node-fault scenarios must produce identical results (fault log,
+# delivery set, and telemetry snapshot) across two same-seed runs, and
+# the same payload sealed twice through the chunked process pool (plus
+# once serially) must yield byte-identical ciphertext.
 chaos-smoke:
 	$(PYTHON) -m repro.cli smoke --chaos
 

@@ -4,8 +4,9 @@ The paper's orchestration use case (Section VI) is *reacting* to
 anomalies; this package supplies the anomalies.  A seeded
 :class:`ChaosInjector` makes order-independent, deterministic fault
 decisions (service crashes, bus message drops/duplicates/delays,
-broker failures, syscall stalls, transfer-frame corruption, storage
-hiccups); :class:`FaultSchedule` fires scripted failures at planned
+broker failures, whole-node crashes and network partitions, syscall
+stalls, transfer-frame corruption, storage hiccups);
+:class:`FaultSchedule` fires scripted failures at planned
 virtual times through the discrete-event kernel; and the wrappers turn
 any bus / volume / network / syscall executor hostile without touching
 happy-path code.
@@ -19,6 +20,7 @@ from repro.chaos.injector import ChaosConfig, ChaosInjector, FaultSchedule
 from repro.chaos.wrappers import (
     ChaosBus,
     ChaosNetwork,
+    ChaosNodePlane,
     ChaosShardPlane,
     ChaosSyscallExecutor,
     ChaosVolume,
@@ -29,6 +31,7 @@ __all__ = [
     "ChaosConfig",
     "ChaosInjector",
     "ChaosNetwork",
+    "ChaosNodePlane",
     "ChaosShardPlane",
     "ChaosSyscallExecutor",
     "ChaosVolume",

@@ -16,7 +16,7 @@ attempt 1, so with rate < 1 a bounded retry budget converges.
 """
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.errors import ConfigurationError
 from repro.sim.rng import RandomStream, derive_seed
@@ -40,6 +40,10 @@ class ChaosConfig:
     # Sharded matching-plane faults.
     shard_crash_rate: float = 0.0        # per (shard, operation)
     heartbeat_loss_rate: float = 0.0     # per (shard, beat sequence)
+    # Cluster-node faults, per (node, operation).
+    node_crash_rate: float = 0.0         # whole-machine failure
+    node_partition_rate: float = 0.0     # network partition onset
+    node_partition_max: float = 0.005    # longest partition, virtual s
     # Transfer-stream corruption, per (transfer, frame, attempt).
     frame_corruption_rate: float = 0.0
     # Untrusted-store hiccups, per (operation, path, attempt).
@@ -49,17 +53,16 @@ class ChaosConfig:
     syscall_stall_cycles: int = 50_000
 
     def __post_init__(self):
-        for name in (
-            "mapper_crash_rate", "reducer_crash_rate", "message_drop_rate",
-            "message_duplicate_rate", "message_delay_rate",
-            "notification_drop_rate", "shard_crash_rate",
-            "heartbeat_loss_rate", "frame_corruption_rate",
-            "storage_failure_rate", "syscall_stall_rate",
-        ):
-            rate = getattr(self, name)
+        # Every field named *_rate is a probability -- discovered from
+        # the dataclass itself, so a newly added fault rate can never
+        # silently skip validation.
+        for spec in fields(self):
+            if not spec.name.endswith("_rate"):
+                continue
+            rate = getattr(self, spec.name)
             if not 0.0 <= rate <= 1.0:
                 raise ConfigurationError(
-                    "%s must be a probability, got %r" % (name, rate)
+                    "%s must be a probability, got %r" % (spec.name, rate)
                 )
 
 
@@ -164,6 +167,34 @@ class ChaosInjector:
         return self._happens(
             self.config.heartbeat_loss_rate, "heartbeat-loss", shard_id, beat
         )
+
+    def crashes_node(self, node_name, operation):
+        """Does the whole machine ``node_name`` fail before ``operation``?
+
+        A node crash is the *correlated* fault: every shard enclave the
+        node hosts dies in the same instant, which is what the node
+        failure detector distinguishes from independent process deaths.
+        """
+        return self._happens(
+            self.config.node_crash_rate, "node-crash", node_name, operation
+        )
+
+    def partition_for_node(self, node_name, operation):
+        """Partition duration for ``node_name`` at ``operation``; 0.0
+        for none.  The duration draw rides the same stream as the
+        decision, so one seed fixes both."""
+        config = self.config
+        if config.node_partition_rate <= 0.0:
+            return 0.0
+        stream = RandomStream(
+            derive_seed(config.seed, "chaos", "node-partition",
+                        node_name, operation)
+        )
+        if stream.random() >= config.node_partition_rate:
+            return 0.0
+        duration = stream.uniform(0.0, config.node_partition_max)
+        self._record("node-partition", (node_name, operation), duration)
+        return duration
 
     def corrupts_frame(self, transfer_id, frame_index, attempt=0):
         """Is transfer frame ``frame_index`` corrupted in flight?"""
@@ -299,6 +330,31 @@ class FaultSchedule:
                 "shard-crash",
                 "%s/shard-%d" % (getattr(plane, "name", "plane"), shard_id),
                 lambda: plane.fail_shard(shard_id),
+            ),
+        )
+
+    def crash_node_at(self, time, plane, node_name):
+        """Fail cluster node ``node_name`` of a node-bound plane at
+        virtual ``time`` -- a correlated loss of every shard it hosts
+        (records the node name in the fault log)."""
+        return self.env.call_at(
+            time,
+            self._fire(
+                "node-crash",
+                "%s/%s" % (getattr(plane, "name", "plane"), node_name),
+                lambda: plane.fail_node(node_name),
+            ),
+        )
+
+    def partition_node_at(self, time, plane, node_name, duration):
+        """Cut node ``node_name`` off the network at virtual ``time``
+        for ``duration`` virtual seconds."""
+        return self.env.call_at(
+            time,
+            self._fire(
+                "node-partition",
+                "%s/%s" % (getattr(plane, "name", "plane"), node_name),
+                lambda: plane.partition_node(node_name, duration),
             ),
         )
 

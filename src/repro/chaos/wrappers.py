@@ -187,6 +187,58 @@ class ChaosShardPlane:
         return self.plane.publish(envelope)
 
 
+class ChaosNodePlane:
+    """Wraps a node-bound SCBR plane; kills and partitions machines.
+
+    Before forwarding each publish, consults the injector once per
+    *reachable* SGX node with a monotonically increasing operation
+    index: a node-crash draw fails the whole machine (every shard it
+    hosts dies at once -- the correlated fault the node detector
+    exists for), and a partition draw cuts the node off the network
+    for a seeded duration.  The plane's own machinery -- correlated
+    detection, mass recovery, coverage-tracked publish -- then has to
+    heal; the wrapper only breaks things.
+    """
+
+    def __init__(self, plane, injector):
+        self.plane = plane
+        self.injector = injector
+        self._operation = 0
+        self.node_crashes_injected = 0
+        self.partitions_injected = 0
+
+    def __getattr__(self, name):
+        return getattr(self.plane, name)
+
+    def _maybe_break(self):
+        operation = self._operation
+        self._operation += 1
+        now = self.plane.env.now if self.plane.env is not None else None
+        for node in self.plane.topology.sgx_nodes():
+            if not node.alive:
+                continue
+            if self.injector.crashes_node(node.name, operation):
+                self.node_crashes_injected += 1
+                self.plane.fail_node(node.name)
+                continue
+            if not node.reachable(now):
+                continue
+            duration = self.injector.partition_for_node(
+                node.name, operation
+            )
+            if duration > 0.0:
+                self.partitions_injected += 1
+                self.plane.partition_node(node.name, duration)
+
+    def publish_routed(self, envelope):
+        self._maybe_break()
+        return self.plane.publish_routed(envelope)
+
+    def publish(self, envelope):
+        self._maybe_break()
+        return self.plane.publish(envelope)
+
+
 class ChaosSyscallExecutor:
     """Wraps a syscall executor; stalls chosen calls in the host kernel.
 

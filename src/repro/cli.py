@@ -30,6 +30,9 @@ EXPERIMENTS = {
            "chaos recovery: detection-to-recovery latency and goodput"),
     "e6": ("benchmarks.bench_e6_shard_failover", "run_e6",
            "sharded-plane failover: detection, sealed recovery, coverage"),
+    "e7": ("benchmarks.bench_e7_node_failover", "run_e7",
+           "node fault domains: correlated detection, mass recovery, "
+           "live migration"),
     "f1": ("benchmarks.bench_f1_event_bus", "run_f1",
            "Figure 1 architecture, executable"),
     "f2": ("benchmarks.bench_f2_secure_containers", "run_f2",
@@ -70,6 +73,8 @@ GATE_SPECS = {
     "a9": ("gate_a9", "A9_HEADER", {1: "virtual_ms/MB"}),
     "a10": ("gate_a10", "A10_HEADER", {1: "virtual_ms/pub"}),
     "e6": ("gate_e6", "E6_HEADER", {5: "recover_ms_med", 7: "silent_loss"}),
+    "e7": ("gate_e7", "E7_HEADER",
+           {5: "detect_ms_med", 6: "recover_ms_med", 8: "silent_loss"}),
 }
 GATE_TOLERANCE = 0.10
 
@@ -86,18 +91,20 @@ def _load(experiment_id):
     return module, getattr(module, function_name)
 
 
-def _render(experiment_id, result):
+def _render(experiment_id, result, module=None):
     from benchmarks._harness import format_table
 
     title = "%s -- %s" % (
         experiment_id.upper(), EXPERIMENTS[experiment_id][2]
     )
     if isinstance(result, list) and result and isinstance(result[0], tuple):
-        print(format_table(
-            title,
-            tuple("col%d" % i for i in range(len(result[0]))),
-            result,
-        ))
+        # Benchmarks that export <ID>_HEADER get real column names.
+        header = getattr(
+            module, "%s_HEADER" % experiment_id.upper(), None
+        )
+        if header is None or len(header) != len(result[0]):
+            header = tuple("col%d" % i for i in range(len(result[0])))
+        print(format_table(title, tuple(header), result))
         return
     print(title)
     if isinstance(result, dict):
@@ -120,12 +127,12 @@ def run_experiment(experiment_id, smoke=False):
     With ``smoke=True``, experiments whose runner accepts a ``smoke``
     keyword run their reduced workload; the rest run as-is.
     """
-    _module, function = _load(experiment_id)
+    module, function = _load(experiment_id)
     if smoke and "smoke" in inspect.signature(function).parameters:
         result = function(smoke=True)
     else:
         result = function()
-    _render(experiment_id, result)
+    _render(experiment_id, result, module)
     return result
 
 
@@ -148,8 +155,8 @@ def run_smoke():
 def run_chaos_check():
     """Determinism gate for the chaos layer (``smoke --chaos``).
 
-    Runs the E5 chaos-recovery scenarios and the E6 sharded-plane
-    failover scenarios twice each with the same seed and fails unless
+    Runs the E5 chaos-recovery, E6 sharded-plane failover, and E7
+    node-failover scenarios twice each with the same seed and fails unless
     both passes produce identical rows -- seeded fault injection (and
     the fault log / delivery set it produces) must be reproducible or
     every chaos test is flaky by construction.  Each pass runs under a
@@ -163,7 +170,7 @@ def run_chaos_check():
 
     start = time.perf_counter()
     total = 0
-    for experiment_id in ("e5", "e6"):
+    for experiment_id in ("e5", "e6", "e7"):
         _module, function = _load(experiment_id)
         with telemetry.enabled() as first_registry:
             first = function(smoke=True)
@@ -389,9 +396,11 @@ def run_trace(seed=66):
 def run_gate(update=False):
     """Fail if a gated metric regressed >10% against its baseline.
 
-    Runs the gated experiments (A1, A9, A10, E6) in smoke mode and
+    Runs every gated experiment (A1, A9, A10, E6, E7) in smoke mode,
     compares the gated columns row-by-row against
-    ``benchmarks/out/gate_<id>.json``.
+    ``benchmarks/out/gate_<id>.json``, and prints ONE aggregated
+    summary table across all baselines with a single pass/fail exit
+    code -- CI reads one verdict, not five.
     With ``update=True`` the fresh rows replace the baselines instead.
     """
     import json
@@ -399,7 +408,8 @@ def run_gate(update=False):
 
     from benchmarks import _harness
 
-    failures = []
+    summary = []     # (gate, row, metric, baseline, fresh, delta, status)
+    failures = 0
     for experiment_id in sorted(GATE_SPECS):
         baseline_name, header_attribute, metrics = GATE_SPECS[experiment_id]
         module, function = _load(experiment_id)
@@ -433,37 +443,38 @@ def run_gate(update=False):
             label = row[0]
             baseline = baseline_rows.get(label)
             if baseline is None:
-                failures.append(
-                    "%s %r: no baseline row (gate --update needed?)"
-                    % (experiment_id, label)
-                )
+                failures += 1
+                summary.append((
+                    experiment_id, label, "-", "missing", "-", "-",
+                    "FAIL (gate --update needed?)",
+                ))
                 continue
             for column in sorted(metrics):
                 fresh, old = float(row[column]), float(baseline[column])
-                if fresh > old * (1.0 + GATE_TOLERANCE):
-                    failures.append(
-                        "%s %r %s: %.4g -> %.4g (+%.1f%%, limit +%.0f%%)"
-                        % (
-                            experiment_id, label, metrics[column],
-                            old, fresh, (fresh / old - 1.0) * 100.0,
-                            GATE_TOLERANCE * 100.0,
-                        )
-                    )
-                else:
-                    print(
-                        "gate ok: %s %r %s: %.4g (baseline %.4g)"
-                        % (experiment_id, label, metrics[column], fresh, old)
-                    )
+                delta = (fresh / old - 1.0) * 100.0 if old else 0.0
+                regressed = fresh > old * (1.0 + GATE_TOLERANCE)
+                if regressed:
+                    failures += 1
+                summary.append((
+                    experiment_id, label, metrics[column],
+                    "%.4g" % old, "%.4g" % fresh,
+                    "%+.1f%%" % delta,
+                    "FAIL" if regressed else "ok",
+                ))
     if update:
         print("gate baselines updated under benchmarks/out/")
         return 0
+    print(_harness.format_table(
+        "Performance gate: %d baselines, tolerance +%.0f%%"
+        % (len(GATE_SPECS), GATE_TOLERANCE * 100.0),
+        ("gate", "row", "metric", "baseline", "fresh", "delta", "status"),
+        summary,
+    ))
     if failures:
-        print("performance gate FAILED:")
-        for failure in failures:
-            print("  " + failure)
+        print("performance gate FAILED: %d regression(s)" % failures)
         return 1
-    print("performance gate passed (tolerance +%.0f%%)"
-          % (GATE_TOLERANCE * 100.0))
+    print("performance gate passed (%d metrics, tolerance +%.0f%%)"
+          % (len(summary), GATE_TOLERANCE * 100.0))
     return 0
 
 

@@ -1,0 +1,40 @@
+"""Node fault domains under the sharded SCBR plane.
+
+Binds shard enclaves to simulated machines: per-node EPC capacity and
+SGX heterogeneity (:mod:`repro.cluster.nodes`), correlated node
+failure detection on top of the phi-accrual shard monitor
+(:mod:`repro.cluster.health`), and the node-bound plane driver with
+mass recovery and live shard migration (:mod:`repro.cluster.plane`).
+"""
+
+from repro.cluster.health import (
+    NodeDetection,
+    NodeFailureDetector,
+    NodeHealthPolicy,
+)
+from repro.cluster.nodes import (
+    ClusterNode,
+    NodeSpec,
+    NodeTopology,
+    SHARD_CPU_REQUEST,
+    SHARD_MEM_REQUEST,
+)
+from repro.cluster.plane import (
+    DEFAULT_NODE_EPC_WATERMARK,
+    MigrationTicket,
+    NodeBoundScbrRouter,
+)
+
+__all__ = [
+    "ClusterNode",
+    "DEFAULT_NODE_EPC_WATERMARK",
+    "MigrationTicket",
+    "NodeBoundScbrRouter",
+    "NodeDetection",
+    "NodeFailureDetector",
+    "NodeHealthPolicy",
+    "NodeSpec",
+    "NodeTopology",
+    "SHARD_CPU_REQUEST",
+    "SHARD_MEM_REQUEST",
+]

@@ -113,11 +113,22 @@ class ShardHealthMonitor:
         self._onsets.pop(shard_id, None)
 
     def forget(self, shard_id):
-        """Stop tracking a shard entirely."""
+        """Stop tracking a shard entirely.
+
+        The shard's latched detections are purged along with its
+        interval history and episode state: a later re-register of the
+        same id is a brand-new shard as far as the detector is
+        concerned -- clean phi estimate, no ghost verdicts for
+        node-level correlation to trip over.
+        """
         self._last.pop(shard_id, None)
         self._intervals.pop(shard_id, None)
         self._down.discard(shard_id)
         self._onsets.pop(shard_id, None)
+        self.detections = [
+            detection for detection in self.detections
+            if detection.shard_id != shard_id
+        ]
 
     def record_onset(self, shard_id, time=None):
         """Fault injectors call this so detection latency is measurable."""

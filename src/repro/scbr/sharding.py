@@ -191,6 +191,49 @@ class ShardPlanner:
             balance_slack=balance_slack,
         )
 
+    @staticmethod
+    def choose_node(shard_counts, epc_loads, over_watermark=None):
+        """Pick a *node* position for a new shard enclave.
+
+        Placement is a pure function of the per-node shard counts and
+        EPC loads, like :meth:`choose` is for subscriptions:
+
+        1. anti-affinity first -- the node hosting the fewest plane
+           shards wins, so one machine failure darkens as few
+           partitions as possible (and mass recovery has somewhere to
+           spread them);
+        2. ties break toward the lowest EPC utilisation (the new
+           partition will grow; start it where pages are cheapest),
+           then toward position.
+
+        ``over_watermark`` (optional per-node flags) demotes nodes
+        already past their EPC watermark: they are considered only when
+        *every* candidate is over -- a full fleet still beats refusing
+        to place at all.
+        """
+        if not shard_counts or len(shard_counts) != len(epc_loads):
+            raise ConfigurationError(
+                "shard counts and EPC loads must align, non-empty"
+            )
+        positions = list(range(len(shard_counts)))
+        if over_watermark is not None:
+            if len(over_watermark) != len(shard_counts):
+                raise ConfigurationError(
+                    "watermark flags must align with the candidates"
+                )
+            under = [
+                position for position in positions
+                if not over_watermark[position]
+            ]
+            if under:
+                positions = under
+        return min(
+            positions,
+            key=lambda position: (
+                shard_counts[position], epc_loads[position], position,
+            ),
+        )
+
 
 class MatchingShard:
     """One index-level shard: its own machine (clock, LLC, EPC) + index."""
@@ -1281,6 +1324,12 @@ class ShardedScbrRouter:
                 shard.enclave.ecall("ping")
             except EnclaveLostError:
                 continue
+            if not self._shard_reachable(shard):
+                # Alive behind a partition: the probe (and hence the
+                # beat) never crosses, so suspicion accrues exactly as
+                # for a dead shard -- the detector cannot tell them
+                # apart, and conservative recovery handles both.
+                continue
             if self.chaos is not None and self.chaos.drops_heartbeat(
                 shard.shard_id, beat
             ):
@@ -1360,8 +1409,22 @@ class ShardedScbrRouter:
         self._tel_subscribes.inc()
         return subscription_id
 
+    def _shard_reachable(self, shard):
+        """Whether the host can currently talk to ``shard``.
+
+        The nodeless base plane always can (a shard is either live or
+        destroyed); node-bound planes override this to model network
+        partitions -- a partitioned shard's enclave keeps running, but
+        no match request or heartbeat crosses until the partition
+        heals.
+        """
+        return True
+
     def _live_shards(self):
-        return [s for s in self.shards if not s.enclave.destroyed]
+        return [
+            s for s in self.shards
+            if not s.enclave.destroyed and self._shard_reachable(s)
+        ]
 
     def _place(self, blob):
         live = self._live_shards()
@@ -1442,6 +1505,11 @@ class ShardedScbrRouter:
         )
 
         def match_on(shard):
+            if not self._shard_reachable(shard):
+                # The request never crosses the partition; the enclave
+                # is alive but its authenticated match blob cannot
+                # arrive, so finalize will report it missing.
+                return None, 0, 0
             start = shard.platform.clock.now
             try:
                 blob, visits = shard.enclave.ecall(
@@ -1451,12 +1519,38 @@ class ShardedScbrRouter:
                 return None, 0, shard.platform.clock.now - start
             return blob, visits, shard.platform.clock.now - start
 
-        if len(self.shards) == 1:
-            results = [match_on(self.shards[0])]
+        # Shards sharing a platform (several enclaves on one node)
+        # match *serially* within that machine: their cycle charges
+        # land on one shared clock/LLC/EPC, and a fixed order keeps
+        # two same-seed runs byte-identical.  Distinct machines still
+        # run concurrently on the pool, and the critical path is the
+        # busiest machine's total, not the slowest single shard.
+        groups = []
+        by_platform = {}
+        for shard in self.shards:
+            key = id(shard.platform)
+            if key not in by_platform:
+                by_platform[key] = []
+                groups.append(by_platform[key])
+            by_platform[key].append(shard)
+
+        def match_group(group):
+            return [match_on(shard) for shard in group]
+
+        if len(groups) == 1:
+            grouped = [match_group(groups[0])]
         else:
-            with ThreadPoolExecutor(max_workers=len(self.shards)) as pool:
-                results = list(pool.map(match_on, self.shards))
-        slowest = max(elapsed for _b, _v, elapsed in results)
+            with ThreadPoolExecutor(max_workers=len(groups)) as pool:
+                grouped = list(pool.map(match_group, groups))
+        by_shard = {}
+        for group, group_results in zip(groups, grouped):
+            for shard, result in zip(group, group_results):
+                by_shard[shard.shard_id] = result
+        results = [by_shard[shard.shard_id] for shard in self.shards]
+        slowest = max(
+            sum(elapsed for _b, _v, elapsed in group_results)
+            for group_results in grouped
+        )
         # Observed from this (single) driver thread after the pool
         # joined: per-shard match latencies plus the coverage wait --
         # how long this publication stayed parked in the coordinator
@@ -1506,9 +1600,7 @@ class ShardedScbrRouter:
             return PartialCoverage(routed=routed, missing=missing)
 
         def heal_and_republish(attempt):
-            for shard in list(self.shards):
-                if shard.enclave.destroyed:
-                    self.recover_shard(shard.shard_id)
+            self._heal_dark_shards()
             retried, still_missing = self._publish_once(envelope)
             if still_missing:
                 raise PartialCoverageError(
@@ -1522,6 +1614,19 @@ class ShardedScbrRouter:
         return retry_call(
             heal_and_republish, self.retry_policy, self.backoff
         )
+
+    def _heal_dark_shards(self):
+        """Recover every partition that cannot answer a publish.
+
+        In the base plane "dark" means destroyed.  Node-bound planes
+        widen this to unreachable-but-live shards: a partitioned
+        partition is conservatively respawned on a reachable node (the
+        same harmless-false-positive degradation as the phi detector's)
+        rather than stalling coverage until the partition heals.
+        """
+        for shard in list(self.shards):
+            if shard.enclave.destroyed:
+                self.recover_shard(shard.shard_id)
 
     def publish(self, envelope):
         """Route a publication; returns the sealed notifications."""

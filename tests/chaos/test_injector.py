@@ -226,3 +226,89 @@ class TestFailAt:
         env.run()
         assert plane.killed == [2]
         assert schedule.fired == [(0.4, "shard-crash", "scbr-plane/shard-2")]
+
+
+class TestRateFieldDiscovery:
+    """Every *_rate dataclass field is validated -- by discovery, not a
+    hand-maintained list, so a new fault rate can never skip it."""
+
+    def test_every_rate_field_is_validated(self):
+        import dataclasses
+
+        rate_fields = [
+            spec.name for spec in dataclasses.fields(ChaosConfig)
+            if spec.name.endswith("_rate")
+        ]
+        assert "node_crash_rate" in rate_fields
+        assert "node_partition_rate" in rate_fields
+        for name in rate_fields:
+            with pytest.raises(ConfigurationError):
+                ChaosConfig(**{name: 1.01})
+            with pytest.raises(ConfigurationError):
+                ChaosConfig(**{name: -0.01})
+            # In-range values pass for every discovered field.
+            ChaosConfig(**{name: 0.5})
+
+    def test_non_rate_fields_are_not_probability_checked(self):
+        # Durations and cycle counts may exceed 1.0 freely.
+        ChaosConfig(message_delay_max=2.0, node_partition_max=3.0,
+                    syscall_stall_cycles=10**9)
+
+
+class TestNodeFaults:
+    def test_node_crash_is_seeded_and_order_independent(self):
+        a = ChaosInjector(seed=13, node_crash_rate=0.3)
+        b = ChaosInjector(seed=13, node_crash_rate=0.3)
+        hits_a = [a.crashes_node("node-1", op) for op in range(60)]
+        hits_b = [b.crashes_node("node-1", op) for op in reversed(range(60))]
+        assert hits_a == list(reversed(hits_b))
+        assert any(hits_a) and not all(hits_a)
+        assert a.log() == b.log()
+
+    def test_node_partition_duration_bounded_and_deterministic(self):
+        a = ChaosInjector(seed=13, node_partition_rate=1.0,
+                          node_partition_max=0.002)
+        b = ChaosInjector(seed=13, node_partition_rate=1.0,
+                          node_partition_max=0.002)
+        durations = [a.partition_for_node("node-2", op) for op in range(20)]
+        assert durations == [
+            b.partition_for_node("node-2", op) for op in range(20)
+        ]
+        assert all(0.0 <= d <= 0.002 for d in durations)
+        assert any(d > 0.0 for d in durations)
+
+    def test_zero_rates_never_fire(self):
+        injector = ChaosInjector(seed=13)
+        assert not any(injector.crashes_node("n", op) for op in range(30))
+        assert all(
+            injector.partition_for_node("n", op) == 0.0 for op in range(30)
+        )
+        assert injector.injections == 0
+
+    def test_schedule_crash_and_partition_node(self):
+        class _Plane:
+            name = "plane"
+
+            def __init__(self):
+                self.failed = []
+                self.partitioned = []
+
+            def fail_node(self, name):
+                self.failed.append(name)
+
+            def partition_node(self, name, duration):
+                self.partitioned.append((name, duration))
+
+        env = Environment()
+        injector = ChaosInjector(seed=1)
+        schedule = FaultSchedule(env, injector=injector)
+        plane = _Plane()
+        schedule.crash_node_at(0.2, plane, "node-0")
+        schedule.partition_node_at(0.3, plane, "node-1", 0.05)
+        env.run()
+        assert plane.failed == ["node-0"]
+        assert plane.partitioned == [("node-1", 0.05)]
+        assert [entry[1] for entry in schedule.fired] == [
+            "node-crash", "node-partition"
+        ]
+        assert injector.counts() == {"node-crash": 1, "node-partition": 1}

@@ -1,0 +1,167 @@
+"""Tests for correlated node-level failure detection."""
+
+import pytest
+
+from repro.cluster import NodeDetection, NodeFailureDetector, NodeHealthPolicy
+from repro.errors import ConfigurationError
+from repro.scbr.health import ShardHealthMonitor
+from repro.sim.events import Environment
+
+
+def warmed(env, shard_ids, beats=8):
+    """A shard monitor with every shard past the startup regime."""
+    monitor = ShardHealthMonitor(env)
+    for shard_id in shard_ids:
+        monitor.register(shard_id)
+    period = monitor.policy.heartbeat_period
+    for _ in range(beats):
+        env._now += period
+        for shard_id in shard_ids:
+            monitor.beat(shard_id)
+    return monitor
+
+
+def silence(env, monitor, beating, periods=12):
+    """Advance time while only ``beating`` shards keep beating."""
+    period = monitor.policy.heartbeat_period
+    for _ in range(periods):
+        env._now += period
+        for shard_id in beating:
+            monitor.beat(shard_id)
+    monitor.poll()
+
+
+class TestNodeHealthPolicy:
+    def test_defaults_validate(self):
+        policy = NodeHealthPolicy()
+        assert policy.correlation_window > 0
+        assert policy.quorum == 1.0
+
+    @pytest.mark.parametrize("field,value", [
+        ("correlation_window", 0.0),
+        ("correlation_window", -1.0),
+        ("quorum", 0.0),
+        ("quorum", 1.5),
+    ])
+    def test_invalid_parameters_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            NodeHealthPolicy(**{field: value})
+
+
+class TestNodeFailureDetector:
+    def build(self, env):
+        monitor = warmed(env, [0, 1, 2])
+        detector = NodeFailureDetector(monitor)
+        detector.assign(0, "node-a")
+        detector.assign(1, "node-a")
+        detector.assign(2, "node-b")
+        return monitor, detector
+
+    def test_correlated_silence_yields_one_node_verdict(self):
+        env = Environment()
+        monitor, detector = self.build(env)
+        silence(env, monitor, beating=[2])  # node-a dies whole
+        assert detector.poll() == ["node-a"]
+        assert detector.down() == ["node-a"]
+        (verdict,) = detector.detections
+        assert isinstance(verdict, NodeDetection)
+        assert verdict.node == "node-a"
+        assert verdict.shard_ids == (0, 1)
+        assert len(verdict.shard_detections) == 2
+        # The verdict latches: further polls stay quiet.
+        assert detector.poll() == []
+        assert len(detector.detections) == 1
+
+    def test_one_surviving_beat_vetoes_the_verdict(self):
+        env = Environment()
+        monitor, detector = self.build(env)
+        silence(env, monitor, beating=[1, 2])  # only shard 0 is dark
+        assert monitor.down() == [0]
+        assert detector.poll() == [], (
+            "a beating neighbour must veto machine death at quorum=1.0"
+        )
+        assert detector.down() == []
+
+    def test_quorum_below_one_tolerates_survivors(self):
+        env = Environment()
+        monitor = warmed(env, [0, 1])
+        detector = NodeFailureDetector(
+            monitor, NodeHealthPolicy(quorum=0.5)
+        )
+        detector.assign(0, "node-a")
+        detector.assign(1, "node-a")
+        silence(env, monitor, beating=[1])
+        assert detector.poll() == ["node-a"]
+
+    def test_detections_outside_the_window_stay_uncorrelated(self):
+        env = Environment()
+        monitor = warmed(env, [0, 1])
+        detector = NodeFailureDetector(monitor)
+        detector.assign(0, "node-a")
+        detector.assign(1, "node-a")
+        # Shard 0 dies now; shard 1 keeps beating for 30 periods
+        # (15 ms) and only then goes silent -- two independent process
+        # deaths, not one machine death.
+        silence(env, monitor, beating=[1], periods=30)
+        assert monitor.down() == [0]
+        silence(env, monitor, beating=[], periods=25)
+        assert monitor.down() == [0, 1]
+        assert detector.poll() == [], (
+            "detections 12.5 ms apart must not correlate (window 10 ms)"
+        )
+        assert detector.down() == []
+
+    def test_reset_opens_a_new_episode(self):
+        env = Environment()
+        monitor, detector = self.build(env)
+        silence(env, monitor, beating=[2])
+        assert detector.poll() == ["node-a"]
+        # Mass recovery re-registers the shards and closes the episode.
+        monitor.register(0)
+        monitor.register(1)
+        detector.reset("node-a")
+        assert detector.down() == []
+        # The same node can die again and be detected afresh.
+        env._now += monitor.policy.startup_timeout * 1.01
+        monitor.beat(2)
+        monitor.poll()
+        assert detector.poll() == ["node-a"]
+        assert len(detector.detections) == 2
+
+    def test_detection_latency_from_recorded_onset(self):
+        env = Environment()
+        monitor, detector = self.build(env)
+        onset = env.now
+        monitor.record_onset(0)
+        monitor.record_onset(1)
+        detector.record_onset("node-a", onset)
+        silence(env, monitor, beating=[2])
+        assert detector.poll() == ["node-a"]
+        (verdict,) = detector.detections
+        assert verdict.onset == onset
+        assert verdict.detection_latency == pytest.approx(
+            verdict.detected_at - onset
+        )
+        assert detector.detection_latencies() == [verdict.detection_latency]
+
+    def test_unassigned_shards_never_implicate_a_node(self):
+        env = Environment()
+        monitor, detector = self.build(env)
+        detector.unassign(0)
+        assert detector.shards_on("node-a") == [1]
+        silence(env, monitor, beating=[2])  # both 0 and 1 dark
+        # Shard 0 no longer counts toward node-a, but shard 1 alone is
+        # all of node-a's assignment -- still a full-quorum verdict.
+        assert detector.poll() == ["node-a"]
+        (verdict,) = detector.detections
+        assert verdict.shard_ids == (1,)
+
+    def test_nodes_without_assignment_are_ignored(self):
+        env = Environment()
+        monitor = warmed(env, [0])
+        detector = NodeFailureDetector(monitor)
+        detector.assign(0, "node-a")
+        detector.unassign(0)
+        silence(env, monitor, beating=[])
+        assert detector.poll() == []
+        assert detector.detections == []

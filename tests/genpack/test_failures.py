@@ -39,6 +39,55 @@ class TestServerCrash:
         assert server.powered_on and not server.failed
 
 
+class TestCrashRepairCycle:
+    """Regression: a crash->repair cycle leaves no orphaned resources.
+
+    ``Server.crash()`` clears the container map but the orphans still
+    reference their specs; after ``GenPackScheduler.on_server_failure``
+    re-places them and the machine is repaired, the cluster invariants
+    must hold and the repaired server must carry zero residual
+    CPU/memory bookings from its pre-crash tenants.
+    """
+
+    def test_crash_repair_passes_invariants(self):
+        cluster = Cluster.homogeneous(3)
+        workload = ContainerWorkload(seed=4)
+        scheduler = GenPackScheduler(cluster, ResourceMonitor(workload))
+        containers = [running("c%d" % i, cpu=2.0) for i in range(5)]
+        for i, container in enumerate(containers):
+            scheduler.on_arrival(container, float(i))
+        victim = containers[0].server
+        scheduler.on_server_failure(victim, 10.0)
+        victim.repair()
+        victim.power_on()
+        cluster.check_invariants()
+        assert victim.containers == {}, "repaired server must come back empty"
+        assert victim.cpu_requested == 0.0
+        assert victim.mem_requested == 0.0
+        assert victim.cpu_used == 0.0
+        assert not victim.failed and victim.powered_on
+        # Every pre-crash tenant lives on exactly one *other* server.
+        for container in containers:
+            assert container.server is not None
+            host = container.server
+            assert host.containers[container.spec.container_id] is container
+
+    def test_repaired_server_is_schedulable_again(self):
+        cluster = Cluster.homogeneous(2)
+        workload = ContainerWorkload(seed=4)
+        scheduler = GenPackScheduler(cluster, ResourceMonitor(workload))
+        first = running("a", cpu=2.0)
+        scheduler.on_arrival(first, 0.0)
+        victim = first.server
+        scheduler.on_server_failure(victim, 1.0)
+        victim.repair()
+        victim.power_on()
+        returned = running("b", cpu=2.0)
+        victim.place(returned)
+        cluster.check_invariants()
+        assert returned.server is victim
+
+
 class TestSchedulerFailover:
     def test_genpack_reschedules_orphans(self):
         cluster = Cluster.homogeneous(8)

@@ -112,3 +112,59 @@ class TestShardHealthMonitor:
         monitor = ShardHealthMonitor(env)
         monitor.beat(3)
         assert monitor.tracked() == [3]
+
+
+class TestForgetMidSuspicion:
+    """forget() during an outage episode must fully clear the slate."""
+
+    def test_forget_clears_latched_detection_and_history(self):
+        env = Environment()
+        monitor = warmed_monitor(env)
+        monitor.record_onset(0, env.now)
+        periods_needed = monitor.policy.phi_threshold / 0.4342944819
+        env._now += (periods_needed + 1) * monitor.policy.heartbeat_period
+        assert monitor.poll() == [0]
+        assert monitor.down() == [0]
+        assert [d.shard_id for d in monitor.detections] == [0]
+
+        monitor.forget(0)
+        assert monitor.tracked() == []
+        assert monitor.down() == []
+        assert monitor.detections == [], "latched verdicts must be purged"
+        assert monitor.detection_latencies() == []
+
+    def test_reregistered_id_starts_with_clean_phi(self):
+        env = Environment()
+        monitor = warmed_monitor(env)
+        periods_needed = monitor.policy.phi_threshold / 0.4342944819
+        env._now += (periods_needed + 1) * monitor.policy.heartbeat_period
+        assert monitor.poll() == [0]
+        monitor.forget(0)
+
+        # The same id returns as a brand-new shard: empty interval
+        # window (startup-timeout regime), zero suspicion, and poll()
+        # may latch a *fresh* episode later -- not replay the old one.
+        monitor.register(0)
+        assert monitor.phi(0) == 0.0
+        assert len(monitor._intervals[0]) == 0
+        assert monitor.poll() == []
+        env._now += monitor.policy.startup_timeout * 1.01
+        assert monitor.poll() == [0], "a fresh episode can latch anew"
+        assert len(monitor.detections) == 1
+        assert monitor.detections[0].onset is None, (
+            "the old episode's onset must not leak into the new one"
+        )
+
+    def test_forget_keeps_other_shards_detections(self):
+        env = Environment()
+        monitor = warmed_monitor(env, shard_id=0)
+        monitor.register(1)
+        periods_needed = monitor.policy.phi_threshold / 0.4342944819
+        env._now += max(
+            (periods_needed + 1) * monitor.policy.heartbeat_period,
+            monitor.policy.startup_timeout,
+        )
+        assert monitor.poll() == [0, 1]
+        monitor.forget(0)
+        assert [d.shard_id for d in monitor.detections] == [1]
+        assert monitor.down() == [1]
