@@ -22,29 +22,33 @@ bench:
 bench-smoke:
 	$(PYTHON) -m repro.cli smoke
 
-# Performance gate: run A1, A9, A10, E6, and E7 in smoke mode and fail
-# if any gated metric (visits/match, virtual_ms/match, virtual_ms/MB,
-# virtual_ms/pub, detect_ms_med, recover_ms_med, silent_loss) regressed
-# more than 10% against the checked-in benchmarks/out/gate_*.json
-# baselines, printing one aggregated summary table with a single exit
-# code.  The A9 rows pin the chunked-parallel sealing cost model
-# (serial XOF vs. chunked at 64/256 KiB chunks x 1/2/4/8 workers); the
-# E7 rows pin node-failover detection/recovery latency and zero silent
-# loss.  Regenerate with:
+# Performance gate: run A1, A9, A10, E6, E7, and E8 in smoke mode and
+# fail if any gated metric (visits/match, virtual_ms/match,
+# virtual_ms/MB, virtual_ms/pub, detect_ms_med, recover_ms_med,
+# ms_per_join, silent_loss) regressed more than 10% against the
+# checked-in benchmarks/out/gate_*.json baselines, printing one
+# aggregated summary table with a single exit code.  The A9 rows pin
+# the chunked-parallel sealing cost model (serial XOF vs. chunked at
+# 64/256 KiB chunks x 1/2/4/8 workers); the E7 rows pin node-failover
+# detection/recovery latency and zero silent loss; the E8 rows pin the
+# attested-join cost model (cold vs. cached vs. batched vs. ticket)
+# and provisioned mass-recovery latency.  Regenerate with:
 #   $(PYTHON) -m repro.cli gate --update
 bench-gate:
 	$(PYTHON) -m repro.cli gate
 
 # Coverage gate: tier-1 suite under line coverage with enforced floors
-# (src/repro/telemetry/ >= 90%, src/repro/crypto/ >= 90%, repo-wide
-# ratchet at the measured baseline); uses the coverage package when
-# installed, else a built-in settrace collector.  See tools/test_cov.py.
+# (src/repro/telemetry/ >= 90%, src/repro/crypto/ >= 90%,
+# src/repro/scbr/provisioning.py >= 90%, repo-wide ratchet at the
+# measured baseline); uses the coverage package when installed, else a
+# built-in settrace collector.  See tools/test_cov.py.
 test-cov:
 	$(PYTHON) tools/test_cov.py -x -q
 
 # Smoke run plus the chaos determinism gate: the E5 fault-injection
-# scenarios, the E6 sharded-plane failover scenarios, and the E7
-# node-fault scenarios must produce identical results (fault log,
+# scenarios, the E6 sharded-plane failover scenarios, the E7
+# node-fault scenarios, and the E8 attested-join scenarios (batched
+# enrollment included) must produce identical results (fault log,
 # delivery set, and telemetry snapshot) across two same-seed runs, and
 # the same payload sealed twice through the chunked process pool (plus
 # once serially) must yield byte-identical ciphertext.

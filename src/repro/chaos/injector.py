@@ -40,6 +40,10 @@ class ChaosConfig:
     # Sharded matching-plane faults.
     shard_crash_rate: float = 0.0        # per (shard, operation)
     heartbeat_loss_rate: float = 0.0     # per (shard, beat sequence)
+    # Provisioning-plane faults, per (machine fingerprint, attempt):
+    # the untrusted host loses a resumption ticket, forcing the full
+    # attested re-join for that machine.
+    ticket_loss_rate: float = 0.0
     # Cluster-node faults, per (node, operation).
     node_crash_rate: float = 0.0         # whole-machine failure
     node_partition_rate: float = 0.0     # network partition onset
@@ -166,6 +170,18 @@ class ChaosInjector:
         """
         return self._happens(
             self.config.heartbeat_loss_rate, "heartbeat-loss", shard_id, beat
+        )
+
+    def loses_ticket(self, fingerprint, attempt):
+        """Has the host lost machine ``fingerprint``'s resumption
+        ticket by re-join ``attempt``?
+
+        A lost ticket is a liveness fault only: the provisioner falls
+        back to the full attested handshake and the machine re-earns a
+        ticket -- no key material is at stake, the host never held any.
+        """
+        return self._happens(
+            self.config.ticket_loss_rate, "ticket-loss", fingerprint, attempt
         )
 
     def crashes_node(self, node_name, operation):

@@ -33,6 +33,9 @@ EXPERIMENTS = {
     "e7": ("benchmarks.bench_e7_node_failover", "run_e7",
            "node fault domains: correlated detection, mass recovery, "
            "live migration"),
+    "e8": ("benchmarks.bench_e8_attested_joins", "run_e8",
+           "fleet-scale attestation: cached verification, batched "
+           "enrollment, resumption tickets"),
     "f1": ("benchmarks.bench_f1_event_bus", "run_f1",
            "Figure 1 architecture, executable"),
     "f2": ("benchmarks.bench_f2_secure_containers", "run_f2",
@@ -75,6 +78,8 @@ GATE_SPECS = {
     "e6": ("gate_e6", "E6_HEADER", {5: "recover_ms_med", 7: "silent_loss"}),
     "e7": ("gate_e7", "E7_HEADER",
            {5: "detect_ms_med", 6: "recover_ms_med", 8: "silent_loss"}),
+    "e8": ("gate_e8", "E8_HEADER",
+           {5: "ms_per_join", 7: "recover_ms_med", 8: "silent_loss"}),
 }
 GATE_TOLERANCE = 0.10
 
@@ -155,9 +160,9 @@ def run_smoke():
 def run_chaos_check():
     """Determinism gate for the chaos layer (``smoke --chaos``).
 
-    Runs the E5 chaos-recovery, E6 sharded-plane failover, and E7
-    node-failover scenarios twice each with the same seed and fails unless
-    both passes produce identical rows -- seeded fault injection (and
+    Runs the E5 chaos-recovery, E6 sharded-plane failover, E7
+    node-failover, and E8 attested-join scenarios twice each with the
+    same seed and fails unless both passes produce identical rows -- seeded fault injection (and
     the fault log / delivery set it produces) must be reproducible or
     every chaos test is flaky by construction.  Each pass runs under a
     fresh metrics registry and the canonical snapshots must also be
@@ -170,7 +175,7 @@ def run_chaos_check():
 
     start = time.perf_counter()
     total = 0
-    for experiment_id in ("e5", "e6", "e7"):
+    for experiment_id in ("e5", "e6", "e7", "e8"):
         _module, function = _load(experiment_id)
         with telemetry.enabled() as first_registry:
             first = function(smoke=True)

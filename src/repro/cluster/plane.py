@@ -196,11 +196,14 @@ class NodeBoundScbrRouter(ShardedScbrRouter):
 
     def _heal_dark_shards(self):
         # Widen "dark" to unreachable-but-live: a partitioned shard is
-        # conservatively respawned on a reachable node (recover_shard
+        # conservatively respawned on a reachable node (recovery
         # destroys the old side first -- fencing, not split-brain).
-        for shard in list(self.shards):
-            if shard.enclave.destroyed or not self._shard_reachable(shard):
-                self.recover_shard(shard.shard_id)
+        dark = [
+            shard.shard_id for shard in self.shards
+            if shard.enclave.destroyed or not self._shard_reachable(shard)
+        ]
+        if dark:
+            self.recover_shards(dark)
 
     def partition_node(self, name, duration):
         """Cut node ``name`` off the network for ``duration`` virtual
@@ -242,11 +245,14 @@ class NodeBoundScbrRouter(ShardedScbrRouter):
     def recover_node(self, name):
         """Mass-recover every shard the dead node was serving.
 
-        Each shard respawns through the normal recovery path --
-        attested re-join, snapshot restore, log replay -- and the
-        node-aware factory places every replacement on a surviving
-        node (the dead machine fails ``placement_candidates``).
-        Returns the recovered shard ids.
+        The whole displaced set respawns through ONE batched
+        provisioning round (:meth:`recover_shards`) -- a single
+        coordinator quote commits to every replacement's join offer,
+        and machines holding live resumption tickets skip quote
+        verification entirely -- then each shard restores its snapshot
+        and replays its log as usual.  The node-aware factory places
+        every replacement on a surviving node (the dead machine fails
+        ``placement_candidates``).  Returns the recovered shard ids.
         """
         node = self.topology.node(name)
         shard_ids = [
@@ -254,8 +260,7 @@ class NodeBoundScbrRouter(ShardedScbrRouter):
             if self._node_of[shard_id] is node
         ]
         before = len(self.recovery_episodes)
-        for shard_id in shard_ids:
-            self.recover_shard(shard_id)
+        self.recover_shards(shard_ids)
         episodes = self.recovery_episodes[before:]
         episode = {
             "node": name,

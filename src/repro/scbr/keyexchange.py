@@ -20,7 +20,10 @@ from repro.crypto.primitives import sha256
 
 def dh_commitment(public_value):
     """The report-data commitment to a DH public value."""
-    width = (public_value.bit_length() + 7) // 8
+    # max(width, 1): a zero public value must still encode as one byte,
+    # not as the empty string (which would collide with any encoding
+    # scheme that strips leading zeros differently).
+    width = max((public_value.bit_length() + 7) // 8, 1)
     return sha256(b"scbr-dh|" + public_value.to_bytes(width, "big"))
 
 

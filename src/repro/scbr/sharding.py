@@ -58,6 +58,21 @@ from repro.scbr.keyexchange import (
     enclave_channel_accept,
     enclave_channel_offer,
 )
+from repro.scbr.provisioning import (
+    DH_KEYGEN_CYCLES,
+    DH_SHARED_CYCLES,
+    CachedAttestationVerifier,
+    PlaneProvisioner,
+    verify_quote,
+    coord_enroll_batch,
+    coord_resume,
+    coord_rotate,
+    shard_join_complete_batch,
+    shard_join_offer2,
+    shard_rekey,
+    shard_resume_complete,
+    shard_resume_offer,
+)
 from repro.scbr.messages import (
     NotificationSealer,
     deserialize_publication,
@@ -492,6 +507,7 @@ def shard_setup(ctx, shard_id, record_bytes=DEFAULT_RECORD_BYTES,
 
 def shard_join_offer(ctx):
     """ECALL: start the attested join; returns a DH value + report."""
+    ctx.compute(DH_KEYGEN_CYCLES)
     dh = DhKeyPair.generate()
     ctx.state["join_dh"] = dh
     return {
@@ -514,11 +530,12 @@ def shard_join_complete(ctx, coordinator_public, quote, wrapped_key):
         raise AttestationError("no pending plane join")
     attestation = ctx.state.get("attestation")
     if attestation is not None:
-        attestation.verify(
-            quote,
+        verify_quote(
+            attestation, quote, compute=ctx.compute,
             expected_measurement=ctx.state.get("coordinator_measurement"),
             expected_report_data=dh_commitment(coordinator_public),
         )
+    ctx.compute(DH_SHARED_CYCLES)
     transport = AeadKey(
         dh.shared_key(coordinator_public, info=b"scbr-plane-join")
     )
@@ -740,6 +757,11 @@ SHARD_ENTRY_POINTS = {
     "setup": shard_setup,
     "join_offer": shard_join_offer,
     "join_complete": shard_join_complete,
+    "join_offer2": shard_join_offer2,
+    "join_complete_batch": shard_join_complete_batch,
+    "resume_offer": shard_resume_offer,
+    "resume_complete": shard_resume_complete,
+    "rekey": shard_rekey,
     "insert": shard_insert,
     "covers_root": shard_covers_root,
     "remove": shard_remove,
@@ -785,6 +807,13 @@ def coord_setup(ctx, attestation=None, shard_measurement=None,
     ctx.state["pending_publications"] = {}
     ctx.state["next_token"] = 0
     ctx.state["enrolled"] = set()
+    # Provisioning-plane state (repro.scbr.provisioning): the plane key
+    # epoch, the key sealing resumption tickets, the per-platform
+    # resumption secrets, and which platform each shard enrolled from.
+    ctx.state["plane_epoch"] = 1
+    ctx.state["ticket_key"] = AeadKey.generate()
+    ctx.state["resumption"] = {}
+    ctx.state["shard_platform"] = {}
     if telemetry_key is not None:
         ctx.state["telemetry"] = EnclaveTelemetry(telemetry_key, "coord")
     return True
@@ -799,11 +828,12 @@ def coord_enroll_shard(ctx, shard_id, shard_public, quote):
     """
     attestation = ctx.state.get("attestation")
     if attestation is not None:
-        attestation.verify(
-            quote,
+        verify_quote(
+            attestation, quote, compute=ctx.compute,
             expected_measurement=ctx.state.get("shard_measurement"),
             expected_report_data=dh_commitment(shard_public),
         )
+    ctx.compute(DH_KEYGEN_CYCLES + DH_SHARED_CYCLES)
     dh = DhKeyPair.generate()
     transport = AeadKey(dh.shared_key(shard_public, info=b"scbr-plane-join"))
     aad = _AAD_JOIN + str(shard_id).encode("ascii")
@@ -952,6 +982,9 @@ COORD_ENTRY_POINTS = {
     "channel_offer": enclave_channel_offer,
     "channel_accept": enclave_channel_accept,
     "enroll_shard": coord_enroll_shard,
+    "enroll_batch": coord_enroll_batch,
+    "resume": coord_resume,
+    "rotate": coord_rotate,
     "admit": coord_admit,
     "authorize": coord_authorize,
     "ingest": coord_ingest,
@@ -1041,7 +1074,7 @@ class ShardedScbrRouter:
                  auto_split=True, env=None, chaos=None, orchestrator=None,
                  health_policy=None, snapshot_interval=16,
                  on_partial="retry", retry_policy=None,
-                 telemetry_key=None, tracer=None):
+                 telemetry_key=None, tracer=None, provisioner=None):
         if shards < 1:
             raise ConfigurationError("need at least one shard")
         if on_partial not in ("retry", "report"):
@@ -1054,6 +1087,21 @@ class ShardedScbrRouter:
         self.platform = platform
         self.shard_platform_factory = shard_platform_factory
         self.attestation_service = attestation_service
+        # Enclaves verify quotes through a shared memoizing front: a
+        # re-join with an unchanged (platform, measurement, payload,
+        # signature) skips the expensive signature check while the
+        # policy checks rerun live (see repro.scbr.provisioning).
+        if attestation_service is None:
+            self.verifier = None
+        elif isinstance(attestation_service, CachedAttestationVerifier):
+            self.verifier = attestation_service
+            self.attestation_service = attestation_service.service
+        else:
+            self.verifier = CachedAttestationVerifier(attestation_service)
+        self.provisioner = (
+            provisioner if provisioner is not None
+            else PlaneProvisioner(attestation=self.verifier, chaos=chaos)
+        )
         self.record_bytes = record_bytes
         self.policy = policy or EpcWatermarkPolicy(
             platform.costs, record_bytes
@@ -1104,7 +1152,7 @@ class ShardedScbrRouter:
         self._tel_snapshots = registry.counter("scbr.snapshots")
         self.coordinator = platform.load_enclave(COORD_CODE)
         self.coordinator.ecall(
-            "setup", attestation_service, SHARD_CODE.measurement,
+            "setup", self.verifier, SHARD_CODE.measurement,
             telemetry_key,
         )
         self.shards = []
@@ -1121,8 +1169,11 @@ class ShardedScbrRouter:
         self.snapshots_taken = 0
         self.partial_publishes = 0
         self.recovery_episodes = []
-        for _ in range(shards):
-            self._spawn_shard()
+        for shard in self._spawn_shard_enclaves_batch(list(range(shards))):
+            self.shards.append(shard)
+            if self.monitor is not None:
+                self.monitor.register(shard.shard_id)
+            self._snapshot(shard)
 
     # -- plane membership ----------------------------------------------
 
@@ -1136,43 +1187,56 @@ class ShardedScbrRouter:
         return shard
 
     def _spawn_shard_enclave(self, shard_id):
-        """Load a shard enclave on a fresh platform and join it.
+        """Load a shard enclave on a fresh platform and join it."""
+        return self._spawn_shard_enclaves_batch([shard_id])[0]
 
-        Used both for growth (a new shard id) and recovery (a
-        replacement for a dead shard id); either way the enclave earns
-        the plane key only through the mutually attested DH join.
+    def _spawn_shard_enclaves_batch(self, shard_ids):
+        """Bring up one enclave per shard id and join them in one round.
+
+        Used for initial bring-up (all shards), growth (one), and mass
+        recovery (a dead node's displaced set); either way each enclave
+        earns the plane key only through the provisioner's attested
+        enrollment -- batched, cache-priced, ticket-resumable
+        (:class:`~repro.scbr.provisioning.PlaneProvisioner`).
         """
-        platform = self.shard_platform_factory(shard_id)
-        if self.attestation_service is not None:
-            # The infrastructure provider registers new machines with
-            # the verification service; without this, a shard spawned
-            # by a runtime split could never prove its quote.
-            self.attestation_service.register_platform(
-                platform.platform_id, platform.quoting_enclave.public_key
+        shards, _baselines = self._provision_batch(shard_ids)
+        return shards
+
+    def _provision_batch(self, shard_ids):
+        """Spawn + enroll ``shard_ids``; also return per-machine clock
+        baselines (captured before each machine does any join work) so
+        recovery can attribute cycle *deltas* even on pooled node
+        platforms whose clocks carry history."""
+        entries = []
+        baselines = {}
+        for shard_id in shard_ids:
+            platform = self.shard_platform_factory(shard_id)
+            baselines.setdefault(id(platform), platform.clock.now)
+            if self.attestation_service is not None:
+                # The infrastructure provider registers new machines
+                # with the verification service; without this, a shard
+                # spawned by a runtime split could never prove its
+                # quote.
+                self.attestation_service.register_platform(
+                    platform.platform_id,
+                    platform.quoting_enclave.public_key,
+                )
+            enclave = platform.load_enclave(
+                SHARD_CODE, name="scbr-shard-%d" % shard_id
             )
-        enclave = platform.load_enclave(
-            SHARD_CODE, name="scbr-shard-%d" % shard_id
-        )
-        enclave.ecall(
-            "setup", shard_id, self.record_bytes,
-            self.attestation_service, COORD_CODE.measurement,
-            self.telemetry_key,
-        )
-        # Mutually attested join: the host only relays public DH
-        # values, quotes, and the wrapped key.
-        offer = enclave.ecall("join_offer")
-        shard_quote = platform.quoting_enclave.quote(offer["report"])
-        grant = self.coordinator.ecall(
-            "enroll_shard", shard_id, offer["dh_public"], shard_quote
-        )
-        coordinator_quote = self.platform.quoting_enclave.quote(
-            grant["report"]
-        )
-        enclave.ecall(
-            "join_complete", grant["dh_public"], coordinator_quote,
-            grant["wrapped_key"],
-        )
-        return ShardEnclave(shard_id, platform, enclave)
+            enclave.ecall(
+                "setup", shard_id, self.record_bytes,
+                self.verifier, COORD_CODE.measurement,
+                self.telemetry_key,
+            )
+            entries.append((shard_id, platform, enclave))
+        # The host only relays public DH values, quotes, wrapped keys,
+        # sealed blobs, and tickets.
+        self.provisioner.join(self.coordinator, self.platform, entries)
+        return [
+            ShardEnclave(shard_id, platform, enclave)
+            for shard_id, platform, enclave in entries
+        ], baselines
 
     def _shard_by_id(self, shard_id):
         for shard in self.shards:
@@ -1245,66 +1309,126 @@ class ShardedScbrRouter:
         (fresh, starts at zero) plus the coordinator cycles spent on
         the re-join, converted to virtual seconds.
         """
-        old = self._shard_by_id(shard_id)
-        old.enclave.destroy()  # idempotent; see docstring
+        return self.recover_shards([shard_id])[0]
+
+    def recover_shards(self, shard_ids):
+        """Respawn a *set* of dead shards in one provisioning round.
+
+        The whole displaced set re-attests through ONE batched
+        enrollment (or ticket resumptions) instead of per-shard serial
+        handshakes -- the coordinator signs one quote over a commitment
+        to every offered DH value.  Restore and replay stay per-shard.
+
+        Virtual-time attribution: each shard is charged its own
+        platform's cycle *delta* (shards sharing a machine split their
+        group's delta) plus an equal slice of the coordinator's delta
+        -- the batched round's cost amortizes across the set, which is
+        the point.
+        """
+        shard_ids = list(shard_ids)
+        if not shard_ids:
+            return []
+        olds = {}
+        for shard_id in shard_ids:
+            old = self._shard_by_id(shard_id)
+            old.enclave.destroy()  # idempotent; see recover_shard
+            olds[shard_id] = old
         coordinator_clock = self.platform.clock
         coordinator_start = coordinator_clock.now
-        replacement = self._spawn_shard_enclave(shard_id)
-        restored = 0
-        if old.snapshot is not None:
-            restored = replacement.enclave.ecall(
-                "restore", old.snapshot, shard_id
-            )
-        replayed = 0
-        for entry in old.log:
-            if entry[0] == "insert":
-                replacement.enclave.ecall("insert", entry[1])
-            elif entry[0] == "remove":
-                replacement.enclave.ecall("remove", entry[1], entry[2])
-            else:
-                raise ConfigurationError(
-                    "unknown log entry kind %r" % (entry[0],)
+        spawned, baselines = self._provision_batch(shard_ids)
+        replacements = dict(zip(shard_ids, spawned))
+        # Group shards by machine: a node may host several of them, and
+        # they split their machine's cycle delta.
+        platform_groups = {}
+        for shard_id in shard_ids:
+            platform = replacements[shard_id].platform
+            platform_groups.setdefault(id(platform), []).append(shard_id)
+        details = {}
+        for shard_id in shard_ids:
+            old = olds[shard_id]
+            replacement = replacements[shard_id]
+            restored = 0
+            if old.snapshot is not None:
+                restored = replacement.enclave.ecall(
+                    "restore", old.snapshot, shard_id
                 )
-            replayed += 1
-        replacement.database_bytes = old.database_bytes
-        self.shards[self.shards.index(old)] = replacement
-        self._retired.append(old)
-        for subscription_id, home in list(self._home.items()):
-            if home is old:
-                self._home[subscription_id] = replacement
-        # Consolidate: the replacement snapshots its rebuilt partition,
-        # so the next crash replays from here, not from the old log.
-        self._snapshot(replacement)
-        recovery_cycles = replacement.platform.clock.now + (
-            coordinator_clock.now - coordinator_start
+            replayed = 0
+            for entry in old.log:
+                if entry[0] == "insert":
+                    replacement.enclave.ecall("insert", entry[1])
+                elif entry[0] == "remove":
+                    replacement.enclave.ecall("remove", entry[1], entry[2])
+                else:
+                    raise ConfigurationError(
+                        "unknown log entry kind %r" % (entry[0],)
+                    )
+                replayed += 1
+            replacement.database_bytes = old.database_bytes
+            self.shards[self.shards.index(old)] = replacement
+            self._retired.append(old)
+            for subscription_id, home in list(self._home.items()):
+                if home is old:
+                    self._home[subscription_id] = replacement
+            # Consolidate: the replacement snapshots its rebuilt
+            # partition, so the next crash replays from here, not from
+            # the old log.
+            self._snapshot(replacement)
+            details[shard_id] = (restored, replayed)
+        coordinator_delta = coordinator_clock.now - coordinator_start
+        coordinator_share = coordinator_delta // len(shard_ids)
+        coordinator_rem = coordinator_delta - coordinator_share * len(
+            shard_ids
         )
-        recovery_seconds = cycles_to_seconds(recovery_cycles)
-        self._tel_recoveries.inc()
-        self._tel_recovery_cycles.observe(recovery_cycles)
-        self.tracer.record(
-            "scbr.recover", coordinator_start,
-            coordinator_start + recovery_cycles,
-            shard=shard_id, restored=restored, replayed=replayed,
-        )
-        episode = {
-            "shard_id": shard_id,
-            "onset": old.failed_at,
-            "restored": restored,
-            "replayed": replayed,
-            "recovery_cycles": recovery_cycles,
-            "recovery_seconds": recovery_seconds,
-        }
-        self.recovery_episodes.append(episode)
-        if self.monitor is not None:
-            self.monitor.register(shard_id)
-        if self.orchestrator is not None:
-            self.orchestrator.report_recovery(
-                "%s/shard-%d" % (self.name, shard_id),
-                "shard-recovery",
-                recovery_seconds,
-                onset=old.failed_at,
+        shard_cycles = {}
+        for group in platform_groups.values():
+            platform = replacements[group[0]].platform
+            delta = platform.clock.now - baselines[id(platform)]
+            if platform.clock is coordinator_clock:
+                # A shard co-located with the coordinator: its cycles
+                # are already in the coordinator delta.
+                delta = 0
+            share = delta // len(group)
+            remainder = delta - share * len(group)
+            for position, shard_id in enumerate(group):
+                shard_cycles[shard_id] = share + (
+                    remainder if position == 0 else 0
+                )
+        results = []
+        for position, shard_id in enumerate(shard_ids):
+            old = olds[shard_id]
+            replacement = replacements[shard_id]
+            restored, replayed = details[shard_id]
+            recovery_cycles = shard_cycles[shard_id] + coordinator_share + (
+                coordinator_rem if position == 0 else 0
             )
-        return replacement
+            recovery_seconds = cycles_to_seconds(recovery_cycles)
+            self._tel_recoveries.inc()
+            self._tel_recovery_cycles.observe(recovery_cycles)
+            self.tracer.record(
+                "scbr.recover", coordinator_start,
+                coordinator_start + recovery_cycles,
+                shard=shard_id, restored=restored, replayed=replayed,
+            )
+            episode = {
+                "shard_id": shard_id,
+                "onset": old.failed_at,
+                "restored": restored,
+                "replayed": replayed,
+                "recovery_cycles": recovery_cycles,
+                "recovery_seconds": recovery_seconds,
+            }
+            self.recovery_episodes.append(episode)
+            if self.monitor is not None:
+                self.monitor.register(shard_id)
+            if self.orchestrator is not None:
+                self.orchestrator.report_recovery(
+                    "%s/shard-%d" % (self.name, shard_id),
+                    "shard-recovery",
+                    recovery_seconds,
+                    onset=old.failed_at,
+                )
+            results.append(replacement)
+        return results
 
     def probe_heartbeats(self):
         """One heartbeat round: ping every shard, feed the detector.
@@ -1409,6 +1533,26 @@ class ShardedScbrRouter:
         self._tel_subscribes.inc()
         return subscription_id
 
+    def rotate_plane_key(self):
+        """Roll the plane to a new key epoch.
+
+        The coordinator mints a fresh plane key (and ticket key), every
+        live shard rolls forward via a rekey blob wrapped under the
+        *old* plane key -- no re-attestation -- and every outstanding
+        resumption ticket is invalidated: the next re-join from a
+        pre-rotation ticket falls back to the full attested handshake.
+        Dark shards are healed first (their replacements join directly
+        into the new epoch on the next heal would otherwise hold the
+        old key), and every shard is re-snapshotted afterwards because
+        snapshots sealed under the retired key cannot restore into the
+        new epoch.  Returns the new epoch number.
+        """
+        self._heal_dark_shards()
+        epoch = self.provisioner.rotate(self.coordinator, self.shards)
+        for shard in self.shards:
+            self._snapshot(shard)
+        return epoch
+
     def _shard_reachable(self, shard):
         """Whether the host can currently talk to ``shard``.
 
@@ -1430,8 +1574,7 @@ class ShardedScbrRouter:
         live = self._live_shards()
         if not live:
             # Total darkness: heal the plane before admitting state.
-            for shard in list(self.shards):
-                self.recover_shard(shard.shard_id)
+            self.recover_shards([shard.shard_id for shard in self.shards])
             live = self._live_shards()
         flags = [shard.enclave.ecall("covers_root", blob) for shard in live]
         loads = [shard.database_bytes for shard in live]
@@ -1624,9 +1767,12 @@ class ShardedScbrRouter:
         same harmless-false-positive degradation as the phi detector's)
         rather than stalling coverage until the partition heals.
         """
-        for shard in list(self.shards):
-            if shard.enclave.destroyed:
-                self.recover_shard(shard.shard_id)
+        dark = [
+            shard.shard_id for shard in self.shards
+            if shard.enclave.destroyed
+        ]
+        if dark:
+            self.recover_shards(dark)
 
     def publish(self, envelope):
         """Route a publication; returns the sealed notifications."""

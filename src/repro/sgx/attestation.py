@@ -47,16 +47,15 @@ class Quote:
         signature = self.signature.to_bytes(
             (self.signature.bit_length() + 7) // 8 or 1, "big"
         )
-        fields = [
+        fields = (
             self.platform_id.encode("utf-8"),
             self.measurement.encode("ascii"),
             self.report_data,
             signature,
-        ]
-        out = b""
-        for piece in fields:
-            out += len(piece).to_bytes(4, "big") + piece
-        return out
+        )
+        return b"".join(
+            len(piece).to_bytes(4, "big") + piece for piece in fields
+        )
 
     @classmethod
     def from_bytes(cls, raw):
@@ -127,6 +126,18 @@ class AttestationService:
         """Record a platform's attestation public key (provisioning)."""
         self._platform_keys[platform_id] = public_key
 
+    def deregister_platform(self, platform_id):
+        """Forget a platform's attestation key (decommissioning).
+
+        Quotes from the platform fail verification afterwards, exactly
+        as if the platform had never been provisioned.
+        """
+        self._platform_keys.pop(platform_id, None)
+
+    def platform_registered(self, platform_id):
+        """Whether ``platform_id`` currently has a registered key."""
+        return platform_id in self._platform_keys
+
     def trust_measurement(self, measurement):
         """Allowlist an enclave measurement."""
         self._trusted_measurements.add(measurement)
@@ -139,6 +150,27 @@ class AttestationService:
     def trusted_measurements(self):
         """The current allowlist (copy)."""
         return set(self._trusted_measurements)
+
+    def check_policy(self, quote, expected_measurement=None,
+                     expected_report_data=None):
+        """Apply the cheap policy checks of :meth:`verify` to ``quote``.
+
+        Everything except the signature: the platform must be
+        registered, the measurement trusted (or equal to
+        ``expected_measurement``), and the report data equal to
+        ``expected_report_data`` when given.  Verification caches rerun
+        this on every hit so revocation and deregistration stay live
+        even when the signature check is skipped.
+        """
+        if quote.platform_id not in self._platform_keys:
+            raise AttestationError(
+                "platform %r is not registered" % quote.platform_id
+            )
+        self._check_measurement(quote, expected_measurement)
+        if expected_report_data is not None:
+            if quote.report_data != expected_report_data:
+                raise AttestationError("report data mismatch")
+        return True
 
     def verify(self, quote, expected_measurement=None, expected_report_data=None):
         """Validate ``quote``; raises :class:`AttestationError` on failure.
@@ -157,6 +189,13 @@ class AttestationService:
             public_key.verify(quote.signed_payload(), quote.signature)
         except IntegrityError as exc:
             raise AttestationError("quote signature invalid") from exc
+        self._check_measurement(quote, expected_measurement)
+        if expected_report_data is not None:
+            if quote.report_data != expected_report_data:
+                raise AttestationError("report data mismatch")
+        return True
+
+    def _check_measurement(self, quote, expected_measurement):
         if expected_measurement is not None:
             if quote.measurement != expected_measurement:
                 raise AttestationError(
@@ -167,7 +206,3 @@ class AttestationService:
             raise AttestationError(
                 "measurement %s... is not trusted" % quote.measurement[:16]
             )
-        if expected_report_data is not None:
-            if quote.report_data != expected_report_data:
-                raise AttestationError("report data mismatch")
-        return True

@@ -2,6 +2,8 @@
 
 import pytest
 
+from hypothesis import given, settings, strategies as st
+
 from repro.errors import AttestationError, IntegrityError
 from repro.sgx.attestation import AttestationService, Quote
 from repro.sgx.enclave import EnclaveCode
@@ -131,6 +133,32 @@ class TestQuoteSerialisation:
         with pytest.raises(IntegrityError):
             Quote.from_bytes(b"\x00\x00\x00\x02ab")
 
+    @given(
+        platform_id=st.text(min_size=1, max_size=40),
+        measurement=st.text(
+            alphabet="0123456789abcdef", min_size=0, max_size=64
+        ),
+        report_data=st.binary(min_size=0, max_size=256),
+        signature=st.integers(min_value=0, max_value=2 ** 512 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, platform_id, measurement,
+                                 report_data, signature):
+        """Any quote -- including one with empty report data or a
+        zero signature -- survives to_bytes/from_bytes unchanged."""
+        quote = Quote(
+            platform_id=platform_id,
+            measurement=measurement,
+            report_data=report_data,
+            signature=signature,
+        )
+        assert Quote.from_bytes(quote.to_bytes()) == quote
+
+    def test_round_trip_empty_report_data(self, platform, enclave):
+        quote = platform.quote(enclave, b"")
+        assert quote.report_data == b""
+        assert Quote.from_bytes(quote.to_bytes()) == quote
+
 
 class TestMeasurementPolicy:
     def test_revocation(self, platform, enclave, service):
@@ -146,3 +174,38 @@ class TestMeasurementPolicy:
         snapshot = service.trusted_measurements
         snapshot.clear()
         assert service.trusted_measurements == {"abc"}
+
+    def test_deregistered_platform_rejected(self, platform, enclave,
+                                            service):
+        service.trust_measurement(enclave.measurement)
+        quote = platform.quote(enclave)
+        assert service.verify(quote)
+        assert service.platform_registered(platform.platform_id)
+        service.deregister_platform(platform.platform_id)
+        assert not service.platform_registered(platform.platform_id)
+        with pytest.raises(AttestationError, match="not registered"):
+            service.verify(quote)
+        # Idempotent: deregistering twice is not an error.
+        service.deregister_platform(platform.platform_id)
+
+    def test_check_policy_skips_only_the_signature(self, platform,
+                                                   enclave, service):
+        service.trust_measurement(enclave.measurement)
+        good = platform.quote(enclave, b"data")
+        forged = Quote(
+            platform_id=good.platform_id,
+            measurement=good.measurement,
+            report_data=good.report_data,
+            signature=good.signature ^ 1,
+        )
+        # check_policy passes a bad signature (that is verify's job)...
+        assert service.check_policy(forged, expected_report_data=b"data")
+        # ...but still applies registry, measurement, and report-data
+        # policy.
+        with pytest.raises(AttestationError):
+            service.check_policy(good, expected_report_data=b"other")
+        with pytest.raises(AttestationError):
+            service.check_policy(good, expected_measurement="f" * 64)
+        service.revoke_measurement(enclave.measurement)
+        with pytest.raises(AttestationError):
+            service.check_policy(good)

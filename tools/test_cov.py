@@ -9,6 +9,9 @@ checked-in floors:
 - ``src/repro/crypto/`` must stay at or above 90% (the sealing plane
   is the security substrate; an untested crypto branch is a hole in
   the trust argument);
+- ``src/repro/scbr/provisioning.py`` must stay at or above 90% (the
+  attestation/key-provisioning plane decides who may join the fleet;
+  an untested path there is an enrollment hole);
 - the repository overall must stay at or above the measured baseline,
   so coverage can only ratchet up.
 
@@ -34,6 +37,7 @@ PACKAGE_DIR = os.path.join(ROOT, "src", "repro")
 FLOORS = (
     ("src/repro/telemetry/", 90.0),
     ("src/repro/crypto/", 90.0),
+    ("src/repro/scbr/provisioning.py", 90.0),
 )
 # Whole-package ratchet: measured 95.3% at introduction; the floor sits
 # a little below that so unrelated refactors don't flake, but a real
