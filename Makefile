@@ -32,7 +32,9 @@ bench-smoke:
 # 64/256 KiB chunks x 1/2/4/8 workers); the E7 rows pin node-failover
 # detection/recovery latency and zero silent loss; the E8 rows pin the
 # attested-join cost model (cold vs. cached vs. batched vs. ticket)
-# and provisioned mass-recovery latency.  Regenerate with:
+# and provisioned mass-recovery latency; the E9 rows pin the streaming
+# plane's shed accounting, commit-lag tail, recovery latency, and zero
+# silent loss under overload and churn.  Regenerate with:
 #   $(PYTHON) -m repro.cli gate --update
 bench-gate:
 	$(PYTHON) -m repro.cli gate
@@ -47,8 +49,10 @@ test-cov:
 
 # Smoke run plus the chaos determinism gate: the E5 fault-injection
 # scenarios, the E6 sharded-plane failover scenarios, the E7
-# node-fault scenarios, and the E8 attested-join scenarios (batched
-# enrollment included) must produce identical results (fault log,
+# node-fault scenarios, the E8 attested-join scenarios (batched
+# enrollment included), and the E9 streaming-churn scenarios
+# (backpressure, shedding, crash replay, autoscaling) must produce
+# identical results (fault log,
 # delivery set, and telemetry snapshot) across two same-seed runs, and
 # the same payload sealed twice through the chunked process pool (plus
 # once serially) must yield byte-identical ciphertext.

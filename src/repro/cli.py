@@ -36,6 +36,9 @@ EXPERIMENTS = {
     "e8": ("benchmarks.bench_e8_attested_joins", "run_e8",
            "fleet-scale attestation: cached verification, batched "
            "enrollment, resumption tickets"),
+    "e9": ("benchmarks.bench_e9_stream_churn", "run_e9",
+           "secure streaming plane: backpressure, load-shedding, "
+           "exactly-once windows under churn"),
     "f1": ("benchmarks.bench_f1_event_bus", "run_f1",
            "Figure 1 architecture, executable"),
     "f2": ("benchmarks.bench_f2_secure_containers", "run_f2",
@@ -80,6 +83,9 @@ GATE_SPECS = {
            {5: "detect_ms_med", 6: "recover_ms_med", 8: "silent_loss"}),
     "e8": ("gate_e8", "E8_HEADER",
            {5: "ms_per_join", 7: "recover_ms_med", 8: "silent_loss"}),
+    "e9": ("gate_e9", "E9_HEADER",
+           {4: "shed", 12: "p99_lag_vsec", 13: "recover_ms_med",
+            14: "silent_loss"}),
 }
 GATE_TOLERANCE = 0.10
 
@@ -161,7 +167,8 @@ def run_chaos_check():
     """Determinism gate for the chaos layer (``smoke --chaos``).
 
     Runs the E5 chaos-recovery, E6 sharded-plane failover, E7
-    node-failover, and E8 attested-join scenarios twice each with the
+    node-failover, E8 attested-join, and E9 streaming-churn scenarios
+    twice each with the
     same seed and fails unless both passes produce identical rows -- seeded fault injection (and
     the fault log / delivery set it produces) must be reproducible or
     every chaos test is flaky by construction.  Each pass runs under a
@@ -175,7 +182,7 @@ def run_chaos_check():
 
     start = time.perf_counter()
     total = 0
-    for experiment_id in ("e5", "e6", "e7", "e8"):
+    for experiment_id in ("e5", "e6", "e7", "e8", "e9"):
         _module, function = _load(experiment_id)
         with telemetry.enabled() as first_registry:
             first = function(smoke=True)
@@ -401,7 +408,7 @@ def run_trace(seed=66):
 def run_gate(update=False):
     """Fail if a gated metric regressed >10% against its baseline.
 
-    Runs every gated experiment (A1, A9, A10, E6, E7) in smoke mode,
+    Runs every gated experiment in smoke mode,
     compares the gated columns row-by-row against
     ``benchmarks/out/gate_<id>.json``, and prints ONE aggregated
     summary table across all baselines with a single pass/fail exit

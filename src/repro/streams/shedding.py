@@ -1,0 +1,78 @@
+"""Deterministic load-shedding for window operators.
+
+When a shard's open-pane budget (its stand-in for the EPC-resident
+working set) is exceeded, degradation must be *explicit and fair*:
+
+- **oldest pane first** -- staleness is the cheapest thing to give up;
+  the freshest windows, the ones a grid operator is actually watching,
+  survive;
+- **per-tenant fairness** -- the victim is always drawn from the tenant
+  holding the most open panes, so one noisy feeder sheds its own
+  backlog before touching anyone else's.
+
+The policy is a pure function of operator state, so the same overload
+sheds the same panes on every run (the chaos determinism gate relies
+on this) and on every *replay* (crash recovery re-sheds identically,
+keeping the sealed counters exact).  Every shed record lands in the
+operator's sealed ``shed_records`` counter and resurfaces as a
+tombstone in the emitted window metadata -- never a silent drop.
+"""
+
+from repro.errors import ConfigurationError
+
+
+def meter_tenant(key):
+    """Tenant of a meter key: its feeder prefix (``meter-F-...``)."""
+    parts = str(key).split("-")
+    if len(parts) >= 2:
+        return "-".join(parts[:2])
+    return str(key)
+
+
+class OldestPaneShedPolicy:
+    """Pick shed victims: biggest tenant's oldest pane, deterministically.
+
+    ``tenant_fn`` maps a pane key to its tenant (default: the key is
+    its own tenant).  Ties on pane count break lexicographically on the
+    tenant name; ties on window start break on the key's repr -- total
+    order, no ambient state, no randomness.
+    """
+
+    def __init__(self, tenant_fn=None):
+        self.tenant_fn = tenant_fn or (lambda key: str(key))
+
+    def victim(self, panes):
+        """The pane to shed next from ``(window_start, key, count)``."""
+        if not panes:
+            raise ConfigurationError("no open panes to shed")
+        by_tenant = {}
+        for window_start, key, count in panes:
+            by_tenant.setdefault(self.tenant_fn(key), []).append(
+                (window_start, key, count)
+            )
+        tenant = max(
+            sorted(by_tenant),
+            key=lambda name: (len(by_tenant[name]), name),
+        )
+        window_start, key, _count = min(
+            by_tenant[tenant],
+            key=lambda pane: (pane[0], repr(pane[1])),
+        )
+        return window_start, key
+
+    def shed_to_budget(self, operator, budget):
+        """Shed panes until the operator is at or under ``budget``.
+
+        Returns ``[(window_start, key, records_dropped), ...]`` in shed
+        order.  The dropped records are already counted in the
+        operator's ``shed_records``; tombstones appear in its
+        ``drain_shed_tombstones()`` stream once the windows close.
+        """
+        if budget < 1:
+            raise ConfigurationError("shed budget must be at least 1")
+        shed = []
+        while operator.open_windows > budget:
+            window_start, key = self.victim(operator.open_panes())
+            dropped = operator.shed_pane(window_start, key)
+            shed.append((window_start, key, dropped))
+        return shed

@@ -1,0 +1,235 @@
+"""Robustness tests for the reworked window operators.
+
+Covers the unbounded-pane-growth regression (one-shot keys must be
+evicted once the watermark passes), the telemetry surface for late and
+shed records, the error taxonomy of the deployed handler, and
+hypothesis property tests over arrival orders.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bigdata.streaming import (
+    SlidingWindow,
+    TumblingWindow,
+    parse_stream_record,
+    window_service_handler,
+)
+from repro.errors import CapacityError, FatalError, TransientError
+from repro.telemetry.registry import MetricsRegistry
+
+
+def count(records):
+    return len(records)
+
+
+class TestPaneEviction:
+    def test_one_shot_keys_do_not_accumulate(self):
+        """Regression: a long stream of one-shot keys (meters that
+        report once and go silent) must not grow state without bound --
+        the watermark passing a pane evicts it, key and all."""
+        window = TumblingWindow(10.0, count, key_fn=lambda r: r["k"])
+        for index in range(500):
+            window.ingest(float(index), {"k": "one-shot-%d" % index})
+        # At any instant only the keys of still-open panes are resident.
+        assert window.open_windows <= 11
+
+    def test_advance_watermark_evicts_dormant_keys(self):
+        window = TumblingWindow(10.0, count, key_fn=lambda r: r["k"])
+        window.ingest(0.0, {"k": "a"})
+        window.ingest(1.0, {"k": "b"})
+        assert window.open_windows == 2
+        closed = window.advance_watermark(10.0)
+        assert {key for _s, _e, key, _r in closed} == {"a", "b"}
+        assert window.open_windows == 0
+        # A dormant key has no footprint: state holds nothing for it.
+        assert window.open_panes() == []
+
+    def test_advance_watermark_is_monotonic(self):
+        window = TumblingWindow(10.0, count)
+        window.advance_watermark(50.0)
+        assert window.advance_watermark(20.0) == []
+        assert window.watermark == 50.0
+
+    def test_sliding_panes_evict_too(self):
+        window = SlidingWindow(10.0, 5.0, count, key_fn=lambda r: r["k"])
+        for index in range(200):
+            window.ingest(float(index), {"k": "k%d" % index})
+        assert window.open_windows <= 2 * 12
+
+
+class TestTelemetrySurface:
+    def test_late_and_shed_counters_register(self):
+        registry = MetricsRegistry()
+        window = TumblingWindow(
+            10.0, count, key_fn=lambda r: r["k"], registry=registry
+        )
+        window.ingest(100.0, {"k": "a"})
+        window.ingest(1.0, {"k": "a"})            # late, dropped
+        window.ingest(101.0, {"k": "b"})
+        window.shed_pane(100.0, "a")
+        snapshot = registry.to_json()
+        assert b'"streaming.late_records{operator=0}":1' in snapshot
+        assert b'"streaming.shed_records{operator=0}":1' in snapshot
+        assert b'"streaming.open_panes{operator=0}"' in snapshot
+
+    def test_operator_indices_are_distinct(self):
+        registry = MetricsRegistry()
+        TumblingWindow(10.0, count, registry=registry)
+        TumblingWindow(10.0, count, registry=registry)
+        snapshot = registry.to_json()
+        assert b"{operator=0}" in snapshot and b"{operator=1}" in snapshot
+
+    def test_late_counter_matches_attribute(self):
+        registry = MetricsRegistry()
+        window = TumblingWindow(10.0, count, registry=registry)
+        window.ingest(100.0, {})
+        for _ in range(3):
+            window.ingest(0.0, {})
+        assert window.late_records == 3
+        assert b'"streaming.late_records{operator=0}":3' in (
+            registry.to_json()
+        )
+
+
+class _Ctx:
+    """A stand-in for the micro-service enclave context."""
+
+    def __init__(self):
+        self.state = {}
+
+
+class TestHandlerTaxonomy:
+    def handler(self, operator=None):
+        window = operator or TumblingWindow(10.0, count)
+        return window_service_handler(window, "out"), _Ctx()
+
+    def test_malformed_utf8_is_fatal(self):
+        handler, ctx = self.handler()
+        with pytest.raises(FatalError):
+            handler(ctx, "in", b"\xff\xfe")
+
+    def test_invalid_json_is_fatal(self):
+        handler, ctx = self.handler()
+        with pytest.raises(FatalError):
+            handler(ctx, "in", b"{not json")
+
+    def test_non_object_record_is_fatal(self):
+        handler, ctx = self.handler()
+        with pytest.raises(FatalError):
+            handler(ctx, "in", b"[1, 2, 3]")
+
+    def test_missing_timestamp_is_fatal(self):
+        handler, ctx = self.handler()
+        with pytest.raises(FatalError):
+            handler(ctx, "in", json.dumps({"w": 1.0}).encode())
+
+    def test_non_numeric_timestamp_is_fatal(self):
+        handler, ctx = self.handler()
+        for bad in ("soon", None, True, float("nan"), float("inf")):
+            with pytest.raises(FatalError):
+                handler(ctx, "in", json.dumps({"t": bad}).encode())
+
+    def test_capacity_errors_stay_transient(self):
+        """Overload is retryable, so it must surface as TransientError
+        -- the service layer's retry/backoff path -- not FatalError."""
+        window = TumblingWindow(
+            10.0, count, key_fn=lambda r: r["k"], pane_budget=1
+        )
+        handler, ctx = self.handler(window)
+        handler(ctx, "in", json.dumps({"t": 0.0, "k": "a"}).encode())
+        with pytest.raises(CapacityError) as excinfo:
+            handler(ctx, "in", json.dumps({"t": 1.0, "k": "b"}).encode())
+        assert isinstance(excinfo.value, TransientError)
+        assert not isinstance(excinfo.value, FatalError)
+
+    def test_good_records_still_flow(self):
+        handler, ctx = self.handler()
+        assert handler(ctx, "in", json.dumps({"t": 0.0}).encode()) == []
+        outputs = handler(ctx, "in", json.dumps({"t": 15.0}).encode())
+        assert len(outputs) == 1
+        topic, payload = outputs[0]
+        assert topic == "out"
+        assert json.loads(payload.decode())["result"] == 1
+
+    def test_parse_rejects_payload_without_decode(self):
+        with pytest.raises(FatalError):
+            parse_stream_record(b"null")
+
+
+timestamps = st.lists(
+    st.floats(min_value=0.0, max_value=1_000.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=60,
+)
+
+
+class TestWindowProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(timestamps)
+    def test_watermark_is_monotone(self, times):
+        window = TumblingWindow(10.0, count)
+        marks = []
+        for timestamp in times:
+            window.ingest(timestamp, {})
+            marks.append(window.watermark)
+        assert marks == sorted(marks)
+
+    @settings(max_examples=40, deadline=None)
+    @given(timestamps)
+    def test_tumbling_counts_every_record_once(self, times):
+        window = TumblingWindow(10.0, count, lateness=2_000.0)
+        closed = []
+        for timestamp in times:
+            closed += window.ingest(timestamp, {})
+        closed += window.flush()
+        assert sum(result for _s, _e, _k, result in closed) == len(times)
+        assert window.late_records == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(timestamps)
+    def test_sliding_panes_never_double_count(self, times):
+        """Each record lands in exactly size/slide sliding panes."""
+        window = SlidingWindow(10.0, 5.0, count, lateness=2_000.0)
+        closed = []
+        for timestamp in times:
+            closed += window.ingest(timestamp, {})
+        closed += window.flush()
+        total = sum(result for _s, _e, _k, result in closed)
+        assert total == 2 * len(times)
+        starts = [start for start, _e, _k, _r in closed]
+        assert len(starts) == len(set(starts))
+
+    @settings(max_examples=40, deadline=None)
+    @given(timestamps, st.randoms(use_true_random=False))
+    def test_late_accounting_is_exact_under_shuffles(self, times, rng):
+        """However arrivals are shuffled, records accepted plus records
+        counted late equals records offered."""
+        shuffled = list(times)
+        rng.shuffle(shuffled)
+        window = TumblingWindow(10.0, count)
+        closed = []
+        for timestamp in shuffled:
+            closed += window.ingest(timestamp, {})
+        closed += window.flush()
+        landed = sum(result for _s, _e, _k, result in closed)
+        assert landed + window.late_records == len(shuffled)
+
+    @settings(max_examples=40, deadline=None)
+    @given(timestamps)
+    def test_order_independence_with_enough_lateness(self, times):
+        """With lateness covering the full span, any arrival order
+        yields the same closed windows."""
+        def run(sequence):
+            window = TumblingWindow(10.0, count, lateness=2_000.0)
+            closed = []
+            for timestamp in sequence:
+                closed += window.ingest(timestamp, {})
+            closed += window.flush()
+            return sorted(closed)
+
+        assert run(times) == run(sorted(times)) == run(
+            sorted(times, reverse=True)
+        )

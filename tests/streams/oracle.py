@@ -1,0 +1,49 @@
+"""A pure-python oracle for the sealed streaming plane.
+
+Computes the expected tumbling-window output straight from the reading
+records -- no operators, no shards, no sealing -- so "oracle-equal"
+really compares the distributed machinery against an independent
+reduction of the same inputs.
+"""
+
+from repro.streams import meter_window_aggregate
+
+
+def expected_windows(records, size):
+    """Expected ``(window_start, key, result)`` rows, plane-ordered.
+
+    Assumes every record lands (no shedding, nothing late): each
+    reading belongs to exactly one tumbling pane of its meter.
+    """
+    panes = {}
+    for record in records:
+        window_start = (record["t"] // size) * size
+        panes.setdefault((window_start, record["meter"]), []).append(record)
+    rows = []
+    for (window_start, key), members in panes.items():
+        rows.append((window_start, key, meter_window_aggregate(members)))
+    rows.sort(key=lambda row: (row[0], str(row[1])))
+    return rows
+
+
+def frame_rows(frames):
+    """Project plane firing frames onto the oracle's row shape."""
+    return sorted(
+        (
+            (frame["window_start"], frame["key"], frame["result"])
+            for frame in frames
+            if frame["kind"] == "window"
+        ),
+        key=lambda row: (row[0], str(row[1])),
+    )
+
+
+def produced_records(fleet, meters, start, end):
+    """The exact records a :class:`MeterStreamSource` would produce."""
+    records = []
+    timestamp = start
+    while timestamp < end:
+        for meter in meters:
+            records.append(fleet.reading(meter, timestamp).to_record())
+        timestamp += fleet.interval
+    return records

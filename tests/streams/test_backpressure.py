@@ -1,0 +1,88 @@
+import pytest
+
+from repro.errors import CapacityError
+from repro.streams import StreamConfig
+
+from tests.streams.conftest import WINDOW, make_plane, make_source
+from tests.streams.oracle import expected_windows, frame_rows, produced_records
+
+
+def slow_config(**overrides):
+    base = dict(
+        window=dict(WINDOW), queue_bound=3, service_rate=1,
+        checkpoint_interval=3,
+    )
+    base.update(overrides)
+    return StreamConfig(**base)
+
+
+def test_queue_bound_is_never_exceeded(grid, fleet):
+    plane = make_plane(config=slow_config())
+    source = make_source(fleet, grid, plane, batch_records=6)
+    source.produce(0.0, 600.0)
+    while source.backlog or any(
+        plane.shards[sid].queue for sid in plane.table.shard_ids()
+    ):
+        plane.pump([source])
+        assert all(
+            depth <= plane.config.queue_bound
+            for depth in plane.queue_depths().values()
+        )
+    assert source.throttle_events > 0
+
+
+def test_enqueue_fails_closed_when_full(grid, fleet):
+    plane = make_plane(config=slow_config())
+    shard_id = plane.table.shard_ids()[0]
+    for _ in range(plane.config.queue_bound):
+        plane.shards[shard_id].queue.append(("batch", {"count": 0}, b""))
+    with pytest.raises(CapacityError):
+        plane.enqueue(shard_id, {"count": 0}, b"")
+
+
+def test_credits_mirror_free_slots(grid, fleet):
+    plane = make_plane(config=slow_config())
+    shard_id = plane.table.shard_ids()[0]
+    assert plane.credits(shard_id) == plane.config.queue_bound
+    plane.enqueue(shard_id, {"count": 0}, b"x")
+    assert plane.credits(shard_id) == plane.config.queue_bound - 1
+
+
+def test_throttled_records_are_never_late(grid, fleet):
+    """Backpressure holds the watermark: a throttled reading must not
+    be judged late once it finally releases."""
+    plane = make_plane(config=slow_config())
+    source = make_source(fleet, grid, plane, batch_records=6)
+    source.produce(0.0, 900.0)   # 3x more than the plane drains per round
+    plane.drain([source])
+    audit = plane.audit([source])
+    assert audit["late"] == 0
+    assert audit["silent_loss"] == 0
+    assert audit["backlog"] == 0
+
+
+def test_overload_drains_to_oracle(grid, fleet):
+    plane = make_plane(config=slow_config())
+    source = make_source(fleet, grid, plane, batch_records=6)
+    source.produce(0.0, 900.0)
+    plane.drain([source])
+    records = produced_records(fleet, grid.meters, 0.0, 900.0)
+    assert frame_rows(plane.open_firings()) == expected_windows(
+        records, WINDOW["size"]
+    )
+
+
+def test_release_preserves_order_under_partial_credit(grid, fleet):
+    """One blocked target blocks the whole source (head-of-line), so
+    released_through stays monotonic."""
+    plane = make_plane(config=slow_config())
+    source = make_source(fleet, grid, plane, batch_records=6)
+    source.produce(0.0, 600.0)
+    marks = []
+    while source.backlog or any(
+        plane.shards[sid].queue for sid in plane.table.shard_ids()
+    ):
+        plane.pump([source])
+        marks.append(source.released_through)
+    assert marks == sorted(marks)
+    assert source.released == source.produced

@@ -1,0 +1,119 @@
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streams import KEY_SPACE, KeyRange, RoutingTable, key_slot
+
+
+def test_key_slot_is_stable_and_in_range():
+    assert key_slot("meter-0-0-00") == key_slot("meter-0-0-00")
+    assert 0 <= key_slot("meter-0-0-00") < KEY_SPACE
+    assert key_slot("meter-0-0-00") != key_slot("meter-0-0-01")
+
+
+def test_key_range_validation():
+    with pytest.raises(ConfigurationError):
+        KeyRange(5, 5)
+    with pytest.raises(ConfigurationError):
+        KeyRange(-1, 10)
+    with pytest.raises(ConfigurationError):
+        KeyRange(0, KEY_SPACE + 1)
+
+
+def test_key_range_split_and_merge_roundtrip():
+    whole = KeyRange(0, 100)
+    low, high = whole.split()
+    assert (low.lo, low.hi, high.lo, high.hi) == (0, 50, 50, 100)
+    assert low.adjacent(high) and high.adjacent(low)
+    assert low.merge(high) == whole
+    assert high.merge(low) == whole
+
+
+def test_key_range_split_single_slot_fails():
+    with pytest.raises(ConfigurationError):
+        KeyRange(3, 4).split()
+
+
+def test_key_range_merge_requires_adjacency():
+    with pytest.raises(ConfigurationError):
+        KeyRange(0, 10).merge(KeyRange(20, 30))
+
+
+def test_key_range_json_roundtrip():
+    assert KeyRange.from_json(KeyRange(7, 9).to_json()) == KeyRange(7, 9)
+
+
+def test_even_table_tiles_the_space():
+    table = RoutingTable.even(range(3))
+    assert table.shard_ids() == [0, 1, 2]
+    total = sum(table.range_of(sid).width for sid in table.shard_ids())
+    assert total == KEY_SPACE
+    table.check_invariants()
+    assert 1 in table
+    assert len(table) == 3
+
+
+def test_empty_table_rejected():
+    with pytest.raises(ConfigurationError):
+        RoutingTable.even([])
+
+
+def test_every_key_has_exactly_one_owner():
+    table = RoutingTable.even(range(4))
+    for slot in (0, 1, KEY_SPACE // 2, KEY_SPACE - 1):
+        owners = [
+            sid for sid in table.shard_ids()
+            if table.range_of(sid).contains(slot)
+        ]
+        assert owners == [table.owner_of_slot(slot)]
+
+
+def test_split_moves_upper_half_and_bumps_epoch():
+    table = RoutingTable.even(range(2))
+    before = table.range_of(0)
+    kept, moved = table.split(0, 2)
+    assert kept.hi == moved.lo
+    assert kept.lo == before.lo and moved.hi == before.hi
+    assert table.epoch == 1
+    table.check_invariants()
+    assert table.range_of(2) == moved
+
+
+def test_split_onto_existing_shard_fails():
+    table = RoutingTable.even(range(2))
+    with pytest.raises(ConfigurationError):
+        table.split(0, 1)
+
+
+def test_merge_restores_coverage():
+    table = RoutingTable.even(range(2))
+    table.split(0, 2)
+    merged = table.merge(0, 2)
+    assert merged == RoutingTable.even(range(2)).range_of(0)
+    assert 2 not in table
+    table.check_invariants()
+
+
+def test_unknown_shard_raises():
+    table = RoutingTable.even(range(2))
+    with pytest.raises(ConfigurationError):
+        table.range_of(9)
+
+
+def test_neighbour_is_adjacent():
+    table = RoutingTable.even(range(3))
+    neighbour = table.neighbour(1)
+    assert table.range_of(1).adjacent(table.range_of(neighbour))
+    table2 = RoutingTable.even([0])
+    assert table2.neighbour(0) is None
+
+
+def test_invariant_violation_detected():
+    with pytest.raises(ConfigurationError):
+        RoutingTable({0: KeyRange(0, 10), 1: KeyRange(20, KEY_SPACE)})
+    with pytest.raises(ConfigurationError):
+        RoutingTable({0: KeyRange(0, 10)})
+
+
+def test_to_json_is_sorted_and_stable():
+    table = RoutingTable.even(range(2))
+    assert table.to_json() == RoutingTable.even(range(2)).to_json()

@@ -1,0 +1,65 @@
+import pytest
+
+from repro.bigdata.streaming import TumblingWindow
+from repro.errors import ConfigurationError
+from repro.streams import OldestPaneShedPolicy, meter_tenant
+
+
+def test_meter_tenant_is_feeder_prefix():
+    assert meter_tenant("meter-0-1-07") == "meter-0"
+    assert meter_tenant("meter-3-0-00") == "meter-3"
+    assert meter_tenant("oddkey") == "oddkey"
+
+
+def test_victim_prefers_biggest_tenant_oldest_pane():
+    policy = OldestPaneShedPolicy(meter_tenant)
+    panes = [
+        (0.0, "meter-0-0-00", 4),
+        (60.0, "meter-0-0-01", 4),
+        (0.0, "meter-1-0-00", 4),
+    ]
+    # Tenant meter-0 holds two panes; its oldest pane sheds first.
+    assert policy.victim(panes) == (0.0, "meter-0-0-00")
+
+
+def test_victim_tie_breaks_deterministically():
+    policy = OldestPaneShedPolicy(meter_tenant)
+    panes = [
+        (0.0, "meter-1-0-00", 1),
+        (0.0, "meter-0-0-00", 1),
+    ]
+    # Equal tenant sizes: lexicographically greatest tenant name wins
+    # (total order, no ambient state), then oldest pane.
+    first = policy.victim(panes)
+    assert first == policy.victim(list(reversed(panes)))
+
+
+def test_victim_requires_panes():
+    with pytest.raises(ConfigurationError):
+        OldestPaneShedPolicy().victim([])
+
+
+def test_shed_to_budget_counts_and_reaches_budget():
+    operator = TumblingWindow(
+        60.0, len, key_fn=lambda record: record["meter"]
+    )
+    for index in range(6):
+        operator.ingest(5.0, {"meter": "meter-0-0-%02d" % index})
+    policy = OldestPaneShedPolicy(meter_tenant)
+    shed = policy.shed_to_budget(operator, 2)
+    assert operator.open_windows == 2
+    assert sum(dropped for _ws, _key, dropped in shed) == 4
+    assert operator.shed_records == 4
+
+
+def test_shed_to_budget_rejects_zero_budget():
+    operator = TumblingWindow(60.0, len)
+    with pytest.raises(ConfigurationError):
+        OldestPaneShedPolicy().shed_to_budget(operator, 0)
+
+
+def test_default_tenant_fn_is_identity():
+    policy = OldestPaneShedPolicy()
+    assert policy.victim([(0.0, "a", 1), (0.0, "b", 2)]) in (
+        (0.0, "a"), (0.0, "b"),
+    )
