@@ -6,7 +6,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-cov bench bench-smoke bench-gate chaos-smoke experiments
+.PHONY: test test-cov bench bench-smoke bench-gate chaos-smoke \
+        service-smoke experiments
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,30 +35,42 @@ bench-smoke:
 # attested-join cost model (cold vs. cached vs. batched vs. ticket)
 # and provisioned mass-recovery latency; the E9 rows pin the streaming
 # plane's shed accounting, commit-lag tail, recovery latency, and zero
-# silent loss under overload and churn.  Regenerate with:
+# silent loss under overload and churn; the E10 rows pin the front
+# door's completed-request p99, the victim tenant's latency ratio
+# under a noisy tenant's chaos, and zero silent request loss.
+# Regenerate with:
 #   $(PYTHON) -m repro.cli gate --update
 bench-gate:
 	$(PYTHON) -m repro.cli gate
 
 # Coverage gate: tier-1 suite under line coverage with enforced floors
 # (src/repro/telemetry/ >= 90%, src/repro/crypto/ >= 90%,
-# src/repro/scbr/provisioning.py >= 90%, repo-wide ratchet at the
-# measured baseline); uses the coverage package when installed, else a
-# built-in settrace collector.  See tools/test_cov.py.
+# src/repro/scbr/provisioning.py >= 90%, src/repro/streams/ >= 90%,
+# src/repro/service/ >= 90%, repo-wide ratchet at the measured
+# baseline); uses the coverage package when installed, else a built-in
+# settrace collector.  See tools/test_cov.py.
 test-cov:
 	$(PYTHON) tools/test_cov.py -x -q
 
 # Smoke run plus the chaos determinism gate: the E5 fault-injection
 # scenarios, the E6 sharded-plane failover scenarios, the E7
 # node-fault scenarios, the E8 attested-join scenarios (batched
-# enrollment included), and the E9 streaming-churn scenarios
-# (backpressure, shedding, crash replay, autoscaling) must produce
-# identical results (fault log,
-# delivery set, and telemetry snapshot) across two same-seed runs, and
-# the same payload sealed twice through the chunked process pool (plus
-# once serially) must yield byte-identical ciphertext.
+# enrollment included), the E9 streaming-churn scenarios
+# (backpressure, shedding, crash replay, autoscaling), and the E10
+# front-door scenarios (gateway crash replay, sealed audit chains)
+# must produce identical results (fault log, delivery set, sealed
+# audit digests, and telemetry snapshot) across two same-seed runs,
+# and the same payload sealed twice through the chunked process pool
+# (plus once serially) must yield byte-identical ciphertext.
 chaos-smoke:
 	$(PYTHON) -m repro.cli smoke --chaos
+
+# Fast front-door check: the service-layer conformance harness alone
+# (sealed audit properties, admission/quota/billing books,
+# cross-tenant isolation vs the operator oracle, gateway crash
+# replay with exactly-once audit).
+service-smoke:
+	$(PYTHON) -m pytest -x -q tests/service
 
 # Regenerate every paper table/figure through the CLI runner.
 experiments:

@@ -94,6 +94,28 @@ def report(experiment_id, title, header, rows, notes=()):
     return table
 
 
+def write_json_sidecar(experiment_id, kind, payload):
+    """Write ``benchmarks/out/<id>.<kind>.json`` atomically.
+
+    The generic sibling of :func:`write_telemetry_sidecar` for
+    benchmarks that leave extra machine-readable artifacts next to
+    their table (e.g. E10's ``e10.audit.json`` chain-verification
+    summary).  The payload is fully serialised before the first byte
+    is written and the file is replaced atomically, same as every
+    other artifact.  Returns the path.
+    """
+    text = json.dumps(
+        {"experiment": experiment_id, kind: payload},
+        indent=2,
+        sort_keys=True,
+        default=str,
+    )
+    os.makedirs(_OUT_DIR, exist_ok=True)
+    path = os.path.join(_OUT_DIR, "%s.%s.json" % (experiment_id, kind))
+    _write_atomic(path, text + "\n")
+    return path
+
+
 def write_telemetry_sidecar(experiment_id, registry=None):
     """Write ``benchmarks/out/<id>.telemetry.json`` if telemetry is on.
 

@@ -39,6 +39,9 @@ EXPERIMENTS = {
     "e9": ("benchmarks.bench_e9_stream_churn", "run_e9",
            "secure streaming plane: backpressure, load-shedding, "
            "exactly-once windows under churn"),
+    "e10": ("benchmarks.bench_e10_front_door", "run_e10",
+            "multi-tenant front door: admission, quotas, sealed audit, "
+            "tenant isolation"),
     "f1": ("benchmarks.bench_f1_event_bus", "run_f1",
            "Figure 1 architecture, executable"),
     "f2": ("benchmarks.bench_f2_secure_containers", "run_f2",
@@ -86,6 +89,8 @@ GATE_SPECS = {
     "e9": ("gate_e9", "E9_HEADER",
            {4: "shed", 12: "p99_lag_vsec", 13: "recover_ms_med",
             14: "silent_loss"}),
+    "e10": ("gate_e10", "E10_HEADER",
+            {8: "p99_ms", 10: "victim_ratio", 14: "silent_loss"}),
 }
 GATE_TOLERANCE = 0.10
 
@@ -167,8 +172,8 @@ def run_chaos_check():
     """Determinism gate for the chaos layer (``smoke --chaos``).
 
     Runs the E5 chaos-recovery, E6 sharded-plane failover, E7
-    node-failover, E8 attested-join, and E9 streaming-churn scenarios
-    twice each with the
+    node-failover, E8 attested-join, E9 streaming-churn, and E10
+    front-door scenarios twice each with the
     same seed and fails unless both passes produce identical rows -- seeded fault injection (and
     the fault log / delivery set it produces) must be reproducible or
     every chaos test is flaky by construction.  Each pass runs under a
@@ -182,7 +187,7 @@ def run_chaos_check():
 
     start = time.perf_counter()
     total = 0
-    for experiment_id in ("e5", "e6", "e7", "e8", "e9"):
+    for experiment_id in ("e5", "e6", "e7", "e8", "e9", "e10"):
         _module, function = _load(experiment_id)
         with telemetry.enabled() as first_registry:
             first = function(smoke=True)

@@ -69,6 +69,17 @@ class CapacityError(TransientError):
     """
 
 
+class QuotaExceededError(CapacityError):
+    """A tenant's request would exceed its assigned quota.
+
+    Raised by the front door's quota ledger before any sealed-plane
+    work happens.  Transient from the tenant's perspective: releasing
+    held resources (or a quota raise) makes the same request succeed.
+    Every rejection is counted and audited -- quota pressure degrades
+    visibly, never silently.
+    """
+
+
 class ConfigurationError(FatalError):
     """Invalid or inconsistent configuration was supplied."""
 

@@ -1,0 +1,143 @@
+"""Admission control at the front door: token buckets in virtual time.
+
+The SecureStreams lesson is that admission control must sit *in front
+of* the sealed planes: once a request crosses into an enclave it has
+already consumed EPC, transitions, and matching work, so overload has
+to be turned away at the boundary -- deterministically, and with every
+turned-away request *counted* (shedding is visible degradation, never
+silent loss).
+
+Each tenant gets one :class:`TokenBucket` refilled continuously on the
+simulation clock; decisions are a pure function of the request sequence
+and virtual time, so two same-seed runs shed the same requests.  The
+controller maintains the accounting identity every benchmark and
+conformance test gates on::
+
+    offered == admitted + shed
+"""
+
+from repro.errors import ConfigurationError
+from repro.telemetry import default_registry
+
+
+class TokenBucket:
+    """A continuous-refill token bucket on virtual time.
+
+    ``rate`` tokens accrue per virtual second up to ``burst``; a take
+    of ``cost`` tokens succeeds only when the bucket holds them.  All
+    arithmetic is float-deterministic: same request times, same
+    decisions.
+    """
+
+    def __init__(self, rate, burst, now=0.0):
+        if rate <= 0 or burst <= 0:
+            raise ConfigurationError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.stamp = float(now)
+
+    def _refill(self, now):
+        if now < self.stamp:
+            raise ConfigurationError(
+                "virtual time went backwards (%.6f < %.6f)"
+                % (now, self.stamp)
+            )
+        self.tokens = min(
+            self.burst, self.tokens + (now - self.stamp) * self.rate
+        )
+        self.stamp = now
+
+    def available(self, now):
+        """Tokens available at ``now`` (refills as a side effect)."""
+        self._refill(now)
+        return self.tokens
+
+    def take(self, now, cost=1.0):
+        """Try to take ``cost`` tokens; False means shed."""
+        if cost < 0:
+            raise ConfigurationError("cost must be non-negative")
+        self._refill(now)
+        if self.tokens < cost:
+            return False
+        self.tokens -= cost
+        return True
+
+
+class AdmissionController:
+    """Per-tenant rate limiting with audited accounting.
+
+    ``offered``/``admitted``/``shed`` are the functional counters the
+    benchmarks read; the telemetry registry mirrors them per tenant
+    (counter-migration style: identical counts with telemetry on or
+    off).
+    """
+
+    def __init__(self, default_rate=50.0, default_burst=10.0):
+        self.default_rate = default_rate
+        self.default_burst = default_burst
+        self.buckets = {}
+        self.offered = {}
+        self.admitted = {}
+        self.shed = {}
+        registry = default_registry()
+        self._registry = registry
+
+    def register(self, tenant_id, rate=None, burst=None, now=0.0):
+        """Create the tenant's bucket (idempotent)."""
+        if tenant_id not in self.buckets:
+            self.buckets[tenant_id] = TokenBucket(
+                rate if rate is not None else self.default_rate,
+                burst if burst is not None else self.default_burst,
+                now=now,
+            )
+            self.offered.setdefault(tenant_id, 0)
+            self.admitted.setdefault(tenant_id, 0)
+            self.shed.setdefault(tenant_id, 0)
+        return self.buckets[tenant_id]
+
+    def admit(self, tenant_id, now, cost=1.0):
+        """Decide one request; returns True (admitted) or False (shed)."""
+        bucket = self.buckets.get(tenant_id)
+        if bucket is None:
+            raise ConfigurationError(
+                "tenant %r has no admission bucket" % tenant_id
+            )
+        self.offered[tenant_id] += 1
+        self._registry.counter("service.offered", tenant=tenant_id).inc()
+        if bucket.take(now, cost):
+            self.admitted[tenant_id] += 1
+            self._registry.counter(
+                "service.admitted", tenant=tenant_id
+            ).inc()
+            return True
+        self.shed[tenant_id] += 1
+        self._registry.counter("service.shed", tenant=tenant_id).inc()
+        return False
+
+    def counts(self, tenant_id):
+        """The accounting triple for one tenant."""
+        return {
+            "offered": self.offered.get(tenant_id, 0),
+            "admitted": self.admitted.get(tenant_id, 0),
+            "shed": self.shed.get(tenant_id, 0),
+        }
+
+    def check_identity(self):
+        """offered == admitted + shed, for every tenant; returns totals.
+
+        Raises :class:`ConfigurationError` if the books do not balance
+        -- a request the controller cannot account for is exactly the
+        silent loss the front door exists to rule out.
+        """
+        totals = {"offered": 0, "admitted": 0, "shed": 0}
+        for tenant_id in self.buckets:
+            counts = self.counts(tenant_id)
+            if counts["offered"] != counts["admitted"] + counts["shed"]:
+                raise ConfigurationError(
+                    "admission books do not balance for %r: %r"
+                    % (tenant_id, counts)
+                )
+            for key in totals:
+                totals[key] += counts[key]
+        return totals

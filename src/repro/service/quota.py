@@ -1,0 +1,137 @@
+"""Per-tenant quotas and billing, wired to the existing QoS plane.
+
+Quotas bound what a tenant may *hold* (sealed bytes, jobs,
+subscriptions, stream attachments); admission control bounds how fast
+they may *ask*.  Exhausting a quota is a counted, audited rejection
+(:class:`~repro.errors.QuotaExceededError`), never a silent drop.
+
+Billing rides the existing :class:`~repro.microservices.qos.QosMonitor`
+machinery: the front door registers each tenant as a metered service
+and observes per-request handling latency onto it, so
+``QosMonitor.billing_report`` prices tenants with the same code path
+that prices microservices -- and the conformance suite can assert the
+ledger, the QoS counters, and the billing lines agree exactly, with
+telemetry on or off.
+"""
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, QuotaExceededError
+from repro.microservices.qos import ServiceMetrics
+from repro.telemetry import default_registry
+
+QUOTA_KINDS = ("sealed_bytes", "jobs", "subscriptions", "streams")
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """What one tenant may hold at once."""
+
+    sealed_bytes: int = 64 * 1024 * 1024
+    jobs: int = 64
+    subscriptions: int = 256
+    streams: int = 8
+
+    def limit(self, kind):
+        if kind not in QUOTA_KINDS:
+            raise ConfigurationError("unknown quota kind %r" % kind)
+        return getattr(self, kind)
+
+
+class QuotaLedger:
+    """Usage and rejection accounting per tenant.
+
+    ``usage``/``rejected`` are the functional stores; the registry
+    mirrors them so an enabled-telemetry run sees per-tenant quota
+    pressure without touching the accounting the tests gate on.
+    """
+
+    def __init__(self, default_quota=None):
+        self.default_quota = default_quota or TenantQuota()
+        self.quotas = {}
+        self.usage = {}
+        self.rejected = {}
+        self._registry = default_registry()
+
+    def register(self, tenant_id, quota=None):
+        """Assign a tenant its quota (idempotent)."""
+        if tenant_id not in self.quotas:
+            self.quotas[tenant_id] = quota or self.default_quota
+            self.usage[tenant_id] = {kind: 0 for kind in QUOTA_KINDS}
+            self.rejected[tenant_id] = {kind: 0 for kind in QUOTA_KINDS}
+        return self.quotas[tenant_id]
+
+    def _require(self, tenant_id):
+        if tenant_id not in self.quotas:
+            raise ConfigurationError(
+                "tenant %r has no quota assigned" % tenant_id
+            )
+
+    def charge(self, tenant_id, kind, amount=1):
+        """Reserve ``amount`` of ``kind``; fails closed at the limit."""
+        self._require(tenant_id)
+        if amount < 0:
+            raise ConfigurationError("cannot charge a negative amount")
+        limit = self.quotas[tenant_id].limit(kind)
+        used = self.usage[tenant_id][kind]
+        if used + amount > limit:
+            self.rejected[tenant_id][kind] += 1
+            self._registry.counter(
+                "service.quota_rejected", tenant=tenant_id, kind=kind
+            ).inc()
+            raise QuotaExceededError(
+                "tenant %r over %s quota (%d + %d > %d)"
+                % (tenant_id, kind, used, amount, limit)
+            )
+        self.usage[tenant_id][kind] = used + amount
+        self._registry.gauge(
+            "service.quota_used", tenant=tenant_id, kind=kind
+        ).set(used + amount)
+        return used + amount
+
+    def release(self, tenant_id, kind, amount=1):
+        """Return quota (resource deletion); never goes negative."""
+        self._require(tenant_id)
+        used = max(0, self.usage[tenant_id][kind] - amount)
+        self.usage[tenant_id][kind] = used
+        self._registry.gauge(
+            "service.quota_used", tenant=tenant_id, kind=kind
+        ).set(used)
+        return used
+
+    def rejected_total(self, tenant_id):
+        """All quota rejections for one tenant, across kinds."""
+        self._require(tenant_id)
+        return sum(self.rejected[tenant_id].values())
+
+
+class TenantBilling:
+    """Per-tenant metering through the QoS monitor.
+
+    Each tenant is a line item in the same ``billing_report`` that
+    prices microservices; ``observe`` records one handled request with
+    its virtual handling latency.
+    """
+
+    def __init__(self, monitor):
+        self.monitor = monitor
+
+    def register(self, tenant_id):
+        state = self.monitor.metrics.setdefault(
+            tenant_id, ServiceMetrics(tenant_id)
+        )
+        state.last_heartbeat = self.monitor.env.now
+        return state
+
+    def observe(self, tenant_id, latency_seconds):
+        state = self.monitor.metrics[tenant_id]
+        state.observe(latency_seconds, self.monitor.env.now)
+        self.monitor._registry.counter(
+            "qos.events_handled", service=tenant_id
+        ).inc()
+        self.monitor._tel_latency.observe(latency_seconds)
+
+    def report(self, cpu_second_price=0.00005):
+        return self.monitor.billing_report(
+            cpu_second_price=cpu_second_price
+        )

@@ -1,0 +1,174 @@
+"""The operator-side conformance oracle for the secure front door.
+
+Models what an auditor with the service root key -- but *no* access to
+the gateway enclave -- can verify offline from the host-visible
+artifacts alone: exported sealed audit chains, attested heads, sealed
+dataset blobs, and the door's plaintext books.
+
+The oracle re-derives every tenant key independently through the
+public derivation schedule (:mod:`repro.service.gateway`), so a bug
+that made the enclave derive keys differently from the spec -- or
+leak one tenant's material into another's hierarchy -- shows up as a
+verification failure here even if the door is self-consistent.
+
+Reused by the isolation conformance suite, the chaos robustness suite,
+and the E10 benchmark's audit-verification scenario.
+"""
+
+from repro.errors import IntegrityError
+from repro.crypto.aead import SealedBatch
+from repro.service.audit import chain_digest, verify_chain
+from repro.service.gateway import (
+    AUDIT_KEY_LABEL,
+    DATASET_KEY_LABEL,
+    dataset_aad,
+    derive_purpose_key,
+    derive_tenant_root,
+)
+
+
+class FrontDoorOracle:
+    """Independent verification against a front door's exported state."""
+
+    def __init__(self, root_key_bytes):
+        self.root_key_bytes = bytes(root_key_bytes)
+
+    # -- independent key derivation ------------------------------------
+
+    def tenant_root(self, tenant_id):
+        return derive_tenant_root(self.root_key_bytes, tenant_id)
+
+    def audit_key(self, tenant_id):
+        return derive_purpose_key(
+            self.tenant_root(tenant_id), AUDIT_KEY_LABEL
+        )
+
+    def dataset_key(self, tenant_id):
+        return derive_purpose_key(
+            self.tenant_root(tenant_id), DATASET_KEY_LABEL
+        )
+
+    # -- audit chain verification --------------------------------------
+
+    def verify_tenant(self, door, tenant_id):
+        """Verify one tenant's exported chain against its attested head.
+
+        Uses only host-visible state plus independently derived keys;
+        returns the decoded entries.
+        """
+        blobs = door.export_audit(tenant_id)
+        count, head_hex = door.audit_head(tenant_id)
+        return verify_chain(
+            self.audit_key(tenant_id), tenant_id, blobs,
+            count, bytes.fromhex(head_hex),
+        )
+
+    def audit_digest(self, door, tenant_id):
+        """Hex digest over the sealed chain bytes (determinism diffs)."""
+        return chain_digest(door.export_audit(tenant_id))
+
+    # -- cross-tenant isolation ----------------------------------------
+
+    def assert_tenant_isolated(self, door, victim, attacker):
+        """No artifact sealed for ``victim`` opens under ``attacker``.
+
+        Tries the attacker's independently derived keys against every
+        sealed audit blob and dataset blob of the victim, at the exact
+        position each was sealed for; every attempt must fail the AEAD
+        tag.  Raises ``AssertionError`` on the first decryption that
+        succeeds where the isolation argument says it cannot.
+        """
+        victim_blobs = door.export_audit(victim)
+        count, head_hex = door.audit_head(victim)
+        # Whole-chain: the attacker's audit key must not verify the
+        # victim's chain even with the victim's own attested head.
+        try:
+            verify_chain(
+                self.audit_key(attacker), victim, victim_blobs,
+                count, bytes.fromhex(head_hex),
+            )
+        except IntegrityError:
+            pass
+        else:
+            raise AssertionError(
+                "tenant %r's audit chain verified under %r's key"
+                % (victim, attacker)
+            )
+        # Per-blob: no single entry opens under the attacker's key,
+        # even when presented as the attacker's own chain.
+        try:
+            verify_chain(
+                self.audit_key(attacker), attacker, victim_blobs,
+                count, bytes.fromhex(head_hex),
+            )
+        except IntegrityError:
+            pass
+        else:
+            raise AssertionError(
+                "tenant %r's audit chain spliced into %r's identity"
+                % (victim, attacker)
+            )
+        # Datasets: every sealed dataset of the victim must refuse the
+        # attacker's dataset key (and the attacker's AAD identity).
+        for name, blob in door.datasets[victim].items():
+            for aad_owner in (victim, attacker):
+                try:
+                    self.dataset_key(attacker).decrypt_batch(
+                        SealedBatch.from_bytes(blob),
+                        aad=dataset_aad(aad_owner, name),
+                    )
+                except IntegrityError:
+                    continue
+                raise AssertionError(
+                    "dataset %r of tenant %r opened under %r's key"
+                    % (name, victim, attacker)
+                )
+
+    def assert_all_isolated(self, door, tenants=None):
+        """Pairwise isolation across every ordered tenant pair."""
+        tenants = list(tenants if tenants is not None else door.tenants)
+        for victim in tenants:
+            for attacker in tenants:
+                if victim != attacker:
+                    self.assert_tenant_isolated(door, victim, attacker)
+
+    # -- books ----------------------------------------------------------
+
+    def assert_books_balance(self, door):
+        """The door-wide and per-tenant accounting identities.
+
+        Every offered request terminates as exactly one of completed,
+        shed, quota-rejected, or failed; every terminal outcome (plus
+        the registration) is one verified audit entry.  Returns the
+        door totals.
+        """
+        totals = door.check_identity()
+        for tenant_id in door.tenants:
+            stats = door.stats(tenant_id)
+            entries = self.verify_tenant(door, tenant_id)
+            assert len(entries) == stats["offered"] + 1, (
+                "tenant %r: %d audit entries but %d requests offered"
+                % (tenant_id, len(entries), stats["offered"])
+            )
+            outcomes = {}
+            for entry in entries[1:]:
+                outcomes[entry.outcome] = outcomes.get(entry.outcome, 0) + 1
+            assert outcomes.get("ok", 0) == stats["completed"]
+            assert outcomes.get("shed", 0) == stats["shed"]
+            assert outcomes.get("quota", 0) == stats["quota_rejected"]
+            assert outcomes.get("error", 0) == stats["failed"]
+        return totals
+
+    def assert_billing_consistent(self, door):
+        """Ledger == QoS counters == billing lines, exactly."""
+        report = door.billing.report()
+        for tenant_id in door.tenants:
+            metrics = door.monitor.metrics[tenant_id]
+            assert metrics.events_handled == door.completed[tenant_id], (
+                "tenant %r: qos handled %d but door completed %d"
+                % (tenant_id, metrics.events_handled,
+                   door.completed[tenant_id])
+            )
+            if door.completed[tenant_id]:
+                assert tenant_id in report.lines
+        return report

@@ -1,0 +1,113 @@
+"""Token-bucket admission control: determinism and accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.admission import AdmissionController, TokenBucket
+from repro import telemetry
+
+
+class TestTokenBucket:
+    def test_burst_then_starvation(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0)
+        assert [bucket.take(0.0) for _ in range(4)] == [
+            True, True, True, False
+        ]
+
+    def test_refill_is_continuous(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0)
+        assert bucket.take(0.0) and bucket.take(0.0)
+        assert not bucket.take(0.0)
+        assert not bucket.take(0.25)   # only 0.5 tokens back
+        assert bucket.take(0.5)        # 1.0 token back
+        assert bucket.available(10.0) == 2.0   # capped at burst
+
+    def test_fractional_cost(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        assert bucket.take(0.0, cost=0.5)
+        assert bucket.take(0.0, cost=0.5)
+        assert not bucket.take(0.0, cost=0.5)
+
+    def test_time_going_backwards_is_a_config_error(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        bucket.take(5.0)
+        with pytest.raises(ConfigurationError):
+            bucket.take(4.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=1.0, burst=-1.0)
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        with pytest.raises(ConfigurationError):
+            bucket.take(0.0, cost=-1.0)
+
+
+def _drive(controller, times):
+    controller.register("acme", rate=2.0, burst=2.0)
+    return [controller.admit("acme", t) for t in times]
+
+
+class TestAdmissionController:
+    def test_accounting_identity(self):
+        controller = AdmissionController()
+        decisions = _drive(controller, [0.0, 0.0, 0.0, 1.0, 1.0, 1.0])
+        counts = controller.counts("acme")
+        assert counts["offered"] == 6
+        assert counts["admitted"] == sum(decisions)
+        assert counts["shed"] == 6 - sum(decisions)
+        totals = controller.check_identity()
+        assert totals["offered"] == totals["admitted"] + totals["shed"]
+
+    def test_decisions_are_deterministic(self):
+        times = [0.1 * i for i in range(40)]
+        first = _drive(AdmissionController(), times)
+        second = _drive(AdmissionController(), times)
+        assert first == second
+        assert True in first and False in first
+
+    def test_register_is_idempotent(self):
+        controller = AdmissionController()
+        bucket = controller.register("acme", rate=5.0, burst=1.0)
+        assert controller.register("acme", rate=99.0) is bucket
+        assert bucket.rate == 5.0
+
+    def test_unknown_tenant_rejected(self):
+        controller = AdmissionController()
+        with pytest.raises(ConfigurationError):
+            controller.admit("ghost", 0.0)
+
+    def test_per_tenant_buckets_are_independent(self):
+        controller = AdmissionController(
+            default_rate=1.0, default_burst=1.0
+        )
+        controller.register("a", now=0.0)
+        controller.register("b", now=0.0)
+        assert controller.admit("a", 0.0)
+        assert not controller.admit("a", 0.0)
+        assert controller.admit("b", 0.0)   # b's bucket untouched by a
+
+    def test_identity_counts_identical_with_telemetry_on(self):
+        times = [0.05 * i for i in range(30)]
+        off = AdmissionController()
+        _drive(off, times)
+        with telemetry.enabled():
+            on = AdmissionController()
+            _drive(on, times)
+            snapshot = telemetry.default_registry().snapshot()
+        assert on.counts("acme") == off.counts("acme")
+        counters = snapshot["counters"]
+        assert counters["service.offered{tenant=acme}"] == 30
+        assert (counters["service.admitted{tenant=acme}"]
+                == on.counts("acme")["admitted"])
+        assert (counters["service.shed{tenant=acme}"]
+                == on.counts("acme")["shed"])
+
+    def test_imbalanced_books_raise(self):
+        controller = AdmissionController()
+        controller.register("acme")
+        controller.admit("acme", 0.0)
+        controller.offered["acme"] += 1   # simulate a lost decision
+        with pytest.raises(ConfigurationError):
+            controller.check_identity()

@@ -1,0 +1,169 @@
+"""Quota ledger and tenant billing: counted rejections, exact books."""
+
+import pytest
+
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    QuotaExceededError,
+)
+from repro.microservices.qos import QosMonitor
+from repro.service.quota import (
+    QUOTA_KINDS,
+    QuotaLedger,
+    TenantBilling,
+    TenantQuota,
+)
+from repro.sim.events import Environment
+from repro import telemetry
+
+
+class TestTenantQuota:
+    def test_limits_by_kind(self):
+        quota = TenantQuota(sealed_bytes=100, jobs=2)
+        assert quota.limit("sealed_bytes") == 100
+        assert quota.limit("jobs") == 2
+        with pytest.raises(ConfigurationError):
+            quota.limit("gpus")
+
+
+class TestQuotaLedger:
+    def test_charge_release_cycle(self):
+        ledger = QuotaLedger(TenantQuota(jobs=2))
+        ledger.register("acme")
+        assert ledger.charge("acme", "jobs") == 1
+        assert ledger.charge("acme", "jobs") == 2
+        with pytest.raises(QuotaExceededError):
+            ledger.charge("acme", "jobs")
+        assert ledger.release("acme", "jobs") == 1
+        assert ledger.charge("acme", "jobs") == 2
+
+    def test_quota_error_is_transient_capacity(self):
+        """Retry machinery must classify quota pressure as capacity,
+        never as evidence of attack."""
+        assert issubclass(QuotaExceededError, CapacityError)
+
+    def test_rejections_are_counted(self):
+        ledger = QuotaLedger(TenantQuota(jobs=1, streams=1))
+        ledger.register("acme")
+        ledger.charge("acme", "jobs")
+        for _ in range(3):
+            with pytest.raises(QuotaExceededError):
+                ledger.charge("acme", "jobs")
+        ledger.charge("acme", "streams")
+        with pytest.raises(QuotaExceededError):
+            ledger.charge("acme", "streams")
+        assert ledger.rejected["acme"]["jobs"] == 3
+        assert ledger.rejected["acme"]["streams"] == 1
+        assert ledger.rejected_total("acme") == 4
+
+    def test_per_tenant_quotas_override_default(self):
+        ledger = QuotaLedger(TenantQuota(jobs=1))
+        ledger.register("small")
+        ledger.register("big", TenantQuota(jobs=100))
+        ledger.charge("small", "jobs")
+        with pytest.raises(QuotaExceededError):
+            ledger.charge("small", "jobs")
+        for _ in range(50):
+            ledger.charge("big", "jobs")
+
+    def test_release_never_goes_negative(self):
+        ledger = QuotaLedger()
+        ledger.register("acme")
+        assert ledger.release("acme", "jobs", 5) == 0
+
+    def test_unknown_tenant_and_negative_charge(self):
+        ledger = QuotaLedger()
+        with pytest.raises(ConfigurationError):
+            ledger.charge("ghost", "jobs")
+        ledger.register("acme")
+        with pytest.raises(ConfigurationError):
+            ledger.charge("acme", "jobs", -1)
+
+    def test_register_is_idempotent(self):
+        ledger = QuotaLedger()
+        ledger.register("acme", TenantQuota(jobs=7))
+        ledger.charge("acme", "jobs")
+        assert ledger.register("acme").jobs == 7
+        assert ledger.usage["acme"]["jobs"] == 1
+
+    def test_counts_identical_with_telemetry_on(self):
+        def scenario():
+            ledger = QuotaLedger(TenantQuota(jobs=1))
+            ledger.register("acme")
+            ledger.charge("acme", "jobs")
+            for _ in range(2):
+                with pytest.raises(QuotaExceededError):
+                    ledger.charge("acme", "jobs")
+            return ledger
+
+        off = scenario()
+        with telemetry.enabled():
+            on = scenario()
+            snapshot = telemetry.default_registry().snapshot()
+        assert on.rejected["acme"] == off.rejected["acme"]
+        assert on.usage["acme"] == off.usage["acme"]
+        counters = snapshot["counters"]
+        assert (
+            counters["service.quota_rejected{kind=jobs,tenant=acme}"] == 2
+        )
+        gauges = snapshot["gauges"]
+        assert gauges["service.quota_used{kind=jobs,tenant=acme}"] == 1
+
+
+class TestTenantBilling:
+    def _billing(self):
+        env = Environment()
+        monitor = QosMonitor(env)
+        return env, monitor, TenantBilling(monitor)
+
+    def test_observed_requests_price_into_the_report(self):
+        _env, monitor, billing = self._billing()
+        billing.register("acme")
+        billing.register("globex")
+        for _ in range(10):
+            billing.observe("acme", 0.002)
+        for _ in range(5):
+            billing.observe("globex", 0.004)
+        assert monitor.metrics["acme"].events_handled == 10
+        assert monitor.metrics["globex"].events_handled == 5
+        report = billing.report(cpu_second_price=1.0)
+        assert report.lines["acme"] == pytest.approx(0.020)
+        assert report.lines["globex"] == pytest.approx(0.020)
+        assert report.total == pytest.approx(0.040)
+
+    def test_tenants_share_the_qos_billing_path(self):
+        """Tenants are line items in the same report that prices
+        microservices -- one metering code path, not two."""
+        from repro.microservices.qos import ServiceMetrics
+
+        _env, monitor, billing = self._billing()
+        billing.register("acme")
+        billing.observe("acme", 0.001)
+        svc = monitor.metrics.setdefault("svc", ServiceMetrics("svc"))
+        svc.observe(0.002, 0.0)
+        report = billing.report()
+        assert set(report.lines) == {"acme", "svc"}
+
+    def test_counts_identical_with_telemetry_on(self):
+        def scenario():
+            _env, monitor, billing = self._billing()
+            billing.register("acme")
+            for _ in range(7):
+                billing.observe("acme", 0.001)
+            return monitor
+
+        off = scenario()
+        with telemetry.enabled():
+            on = scenario()
+            snapshot = telemetry.default_registry().snapshot()
+        assert (on.metrics["acme"].events_handled
+                == off.metrics["acme"].events_handled)
+        assert (snapshot["counters"]["qos.events_handled{service=acme}"]
+                == 7)
+
+
+def test_quota_kinds_cover_the_resource_model():
+    assert set(QUOTA_KINDS) == {
+        "sealed_bytes", "jobs", "subscriptions", "streams"
+    }

@@ -39,6 +39,7 @@ FLOORS = (
     ("src/repro/crypto/", 90.0),
     ("src/repro/scbr/provisioning.py", 90.0),
     ("src/repro/streams/", 90.0),
+    ("src/repro/service/", 90.0),
 )
 # Whole-package ratchet: measured 95.3% at introduction; the floor sits
 # a little below that so unrelated refactors don't flake, but a real
